@@ -1,0 +1,59 @@
+"""Table 13 — TP/TN/FP/FN confusion in simple vs complex communities.
+
+Classifies the 41 explained communities by the detector's seed score
+and splits the confusion by community complexity (simple = one buyer).
+Also emits one rendered case study per condition (the Figure 11/16/17
+analogue, as text + DOT). Shape check from the paper: false negatives
+concentrate in complex communities relative to false positives.
+"""
+
+from _helpers import format_table, write_result
+from repro.explain import classify_communities, confusion_by_complexity, render_dot, render_text
+
+
+def test_table13_case_studies(benchmark, explained_communities):
+    explained = explained_communities
+    communities = [e.community for e in explained]
+    scores = [e.detector_score for e in explained]
+
+    benchmark.pedantic(
+        lambda: confusion_by_complexity(classify_communities(communities, scores)),
+        rounds=3,
+        iterations=1,
+    )
+
+    cases = classify_communities(communities, scores, threshold=0.5)
+    table = confusion_by_complexity(cases)
+
+    rows = []
+    for bucket in ("simple", "complex"):
+        total = max(sum(table[bucket].values()), 1)
+        for condition in ("TP", "TN", "FP", "FN"):
+            count = table[bucket][condition]
+            rows.append([bucket, condition, count, f"{100.0 * count / total:.1f}%"])
+    summary = format_table(["Community type", "Condition", "Count", "Share"], rows)
+
+    # One rendered case study per observed condition.
+    rendered = []
+    seen = set()
+    for case, explanation in zip(cases, explained):
+        if case.condition in seen:
+            continue
+        seen.add(case.condition)
+        rendered.append(
+            f"--- {case.condition} (score={case.score:.3f}) ---\n"
+            + render_text(case.community, explanation.explainer, top_edges=5)
+            + "\n"
+            + render_dot(case.community, explanation.explainer)
+        )
+
+    text = "Table 13 — confusion by community complexity\n" + summary + "\n\n" + "\n\n".join(rendered)
+    path = write_result("table13_case_studies", text)
+    print("\n" + summary + f"\n-> {path}")
+
+    total_cases = sum(sum(bucket.values()) for bucket in table.values())
+    assert total_cases == len(communities)
+    # The majority of communities are classified correctly (the
+    # paper's sample has 27/41 correct at threshold 0.5).
+    correct = sum(table[b][c] for b in table for c in ("TP", "TN"))
+    assert correct / total_cases > 0.5

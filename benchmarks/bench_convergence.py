@@ -1,0 +1,54 @@
+"""Figure 14 — convergence of distributed training, 8 vs 16 workers.
+
+Per-epoch test AUC for GAT / GEM / detector+ on both worker counts and
+both seeds. Shape check from Appendix C: training on 16 workers does
+not converge to a better AUC than 8 workers.
+"""
+
+import numpy as np
+
+from _helpers import MODEL_CLASSES, WORKER_COUNTS, format_table, write_result
+
+
+def test_fig14_convergence(benchmark, end_to_end_runs):
+    runs = end_to_end_runs
+    benchmark.pedantic(lambda: [r.convergence for r in runs], rounds=1, iterations=1)
+
+    lines = []
+    for run in runs:
+        series = ", ".join(
+            "-" if auc is None else f"{auc:.3f}" for auc in run.convergence
+        )
+        lines.append(
+            f"{run.model_name:18s} workers={run.num_workers:2d} seed={'AB'[run.seed]}: {series}"
+        )
+
+    rows = []
+    for model_name in MODEL_CLASSES:
+        for workers in WORKER_COUNTS:
+            finals = [
+                run.convergence[-1]
+                for run in runs
+                if run.model_name == model_name and run.num_workers == workers
+            ]
+            rows.append([model_name, workers, f"{np.mean(finals):.4f}"])
+    summary = format_table(["Model", "#machines", "final AUC (mean over seeds)"], rows)
+
+    text = "Figure 14 — convergence (per-epoch test AUC)\n\n" + summary + "\n\n" + "\n".join(lines)
+    path = write_result("fig14_convergence", text)
+    print("\n" + summary + f"\n-> {path}")
+
+    # 16-worker training must not beat 8-worker on final AUC for the
+    # detector (restrained neighbour fields; Appendix C's finding).
+    def final(model_name, workers):
+        return float(
+            np.mean(
+                [
+                    run.convergence[-1]
+                    for run in runs
+                    if run.model_name == model_name and run.num_workers == workers
+                ]
+            )
+        )
+
+    assert final("xFraud detector+", 16) <= final("xFraud detector+", 8) + 0.02

@@ -1,0 +1,95 @@
+"""Tables 14–19 — TPR/FNR/FPR/TNR and precision/recall threshold sweeps.
+
+Sweeps the prediction-score grids of the paper (coarse 0.1–0.9 and the
+fine 0.95–0.987 tail) for every model, plus the Appendix H.4 projection
+of precision back onto the pre-downsampling stream. Shape checks: TPR
+falls and TNR rises with the threshold; at high thresholds detector+
+retains recall where the baselines are already empty; high-threshold
+precision approaches 1.
+"""
+
+import numpy as np
+
+from _helpers import format_table, write_result
+from repro.train import project_precision_to_stream, threshold_sweep
+
+COARSE = [round(t, 2) for t in np.arange(0.1, 0.95, 0.1)]
+FINE = [0.95, 0.96, 0.97, 0.975, 0.977, 0.98, 0.983, 0.985, 0.987]
+
+
+def test_tables14_19_threshold_sweeps(benchmark, end_to_end_runs, xlarge):
+    runs = [r for r in end_to_end_runs if r.num_workers == 8]
+    benchmark.pedantic(
+        lambda: threshold_sweep(runs[0].test_labels, runs[0].test_scores, COARSE),
+        rounds=3,
+        iterations=1,
+    )
+
+    blocks = []
+    sweeps = {}
+    for run in runs:
+        rows = []
+        for rates in threshold_sweep(run.test_labels, run.test_scores, COARSE + FINE):
+            precision = "-" if rates.precision is None else f"{rates.precision:.4f}"
+            rows.append(
+                [
+                    f"{rates.threshold:.3f}",
+                    f"{rates.tpr:.4f}",
+                    f"{rates.fnr:.4f}",
+                    f"{rates.fpr:.4f}",
+                    f"{rates.tnr:.4f}",
+                    precision,
+                    f"{rates.recall:.4f}",
+                ]
+            )
+        sweeps[(run.model_name, run.seed)] = threshold_sweep(
+            run.test_labels, run.test_scores, COARSE + FINE
+        )
+        blocks.append(
+            f"[{run.model_name} | seed {'AB'[run.seed]}]\n"
+            + format_table(
+                ["threshold", "TPR", "FNR", "FPR", "TNR", "precision", "recall"], rows
+            )
+        )
+
+    # Appendix H.4: project high-threshold precision to the raw stream.
+    fraud_rate = xlarge.graph.fraud_rate()
+    stream_rate = 0.00043
+    detector = sweeps[("xFraud detector+", 0)]
+    projections = []
+    for rates in detector:
+        if rates.precision is not None and rates.precision > 0.8 and rates.recall > 0.01:
+            projections.append(
+                (
+                    rates.threshold,
+                    rates.precision,
+                    project_precision_to_stream(rates.precision, fraud_rate, stream_rate),
+                    rates.recall,
+                )
+            )
+    projection_rows = [
+        [f"{t:.3f}", f"{p:.3f}", f"{sp:.3f}", f"{r:.3f}"] for t, p, sp, r in projections
+    ]
+    projection_table = format_table(
+        ["threshold", "precision (sampled)", "precision (stream)", "recall"],
+        projection_rows,
+    )
+
+    text = (
+        "Tables 14-19 — threshold sweeps (8 workers)\n\n"
+        + "\n\n".join(blocks)
+        + "\n\nAppendix H.4 — precision projected to the 0.043% stream\n"
+        + projection_table
+    )
+    path = write_result("tables14_19_thresholds", text)
+    print("\n(threshold sweeps for all models)\n" + projection_table + f"\n-> {path}")
+
+    for sweep in sweeps.values():
+        tprs = [r.tpr for r in sweep]
+        tnrs = [r.tnr for r in sweep]
+        assert all(a >= b - 1e-12 for a, b in zip(tprs, tprs[1:]))
+        assert all(a <= b + 1e-12 for a, b in zip(tnrs, tnrs[1:]))
+
+    # detector+ keeps recall at thresholds where precision is high.
+    detector_high = [r for r in detector if r.threshold >= 0.9]
+    assert any(r.recall > 0.02 and (r.precision or 0) > 0.8 for r in detector_high)

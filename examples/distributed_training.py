@@ -1,0 +1,53 @@
+"""Simulated distributed training (Sec. 3.3): 1 vs 4 vs 8 workers.
+
+Partitions an eBay-large-like graph with PIC, groups the partitions
+into worker shards, and trains the detector with DDP-style gradient
+averaging. Reports the speed/quality trade-off the paper discusses:
+more workers cut wall-clock per epoch but restrain each replica's
+neighbour field.
+
+Run:  python examples/distributed_training.py
+"""
+
+from repro import (
+    DetectorConfig,
+    TrainConfig,
+    XFraudDetectorPlus,
+    ebay_large_sim,
+    make_worker_partitions,
+)
+from repro.train import DistributedTrainer
+
+
+def main() -> None:
+    print("Building the ebay-large-sim transaction graph ...")
+    data = ebay_large_sim(seed=0, scale=0.12)
+    print(f"  {data.graph.num_nodes:,} nodes, {len(data.train_nodes):,} labeled train txns")
+
+    for num_workers in (1, 4, 8):
+        workers = make_worker_partitions(
+            data.graph, data.train_nodes, num_workers=num_workers, num_partitions=64
+        )
+        shard_sizes = [w.graph.num_nodes for w in workers]
+        cut_edges = data.graph.num_edges - sum(w.graph.num_edges for w in workers)
+        model = XFraudDetectorPlus(
+            DetectorConfig(feature_dim=data.graph.feature_dim, hidden_dim=64, num_heads=4, seed=0)
+        )
+        trainer = DistributedTrainer(
+            model, workers, TrainConfig(epochs=12, batch_size=4096, learning_rate=1e-2)
+        )
+        result = trainer.fit(eval_graph=data.graph, eval_nodes=data.test_nodes)
+        print(
+            f"\nworkers={num_workers}: shards={shard_sizes} "
+            f"(edges cut by partitioning: {cut_edges})"
+        )
+        print(
+            f"  simulated wall-clock {result.seconds_per_epoch:.2f}s/epoch, "
+            f"final AUC={result.metrics['auc']:.4f}, AP={result.metrics['ap']:.4f}"
+        )
+        curve = ", ".join(f"{a:.3f}" for a in result.convergence_curve())
+        print(f"  convergence (test AUC per epoch): {curve}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Investigate a warehouse fraud ring (the paper's Figure 11 scenario).
+
+Generates a workload with a pronounced warehouse ring — one shipping
+address shared by many buyers with mixed fraud/benign transactions —
+trains the detector, then walks through the business-unit workflow:
+flag high-risk transactions, pull the community around one of them,
+and inspect the shared entities the explainer highlights.
+
+Run:  python examples/fraud_ring_investigation.py
+"""
+
+import numpy as np
+
+from repro import (
+    DetectorConfig,
+    ExplainerConfig,
+    GeneratorConfig,
+    GNNExplainer,
+    TrainConfig,
+    Trainer,
+    TransactionGenerator,
+    XFraudDetectorPlus,
+    extract_community,
+)
+from repro.explain import render_text
+from repro.graph import (
+    NODE_TYPE_IDS,
+    GraphBuilder,
+    homophily_report,
+    render_homophily_report,
+    train_test_split,
+)
+
+
+def main() -> None:
+    config = GeneratorConfig(
+        num_benign_buyers=500,
+        num_warehouse_rings=4,
+        ring_buyers=(6, 10),
+        ring_txns_per_buyer=(2, 4),
+        num_stolen_cards=6,
+        feature_dim=64,
+        seed=11,
+    )
+    generator = TransactionGenerator(config)
+    log = generator.downsample_benign(generator.generate())
+    graph, index = GraphBuilder().build(log)
+    train_nodes, _, test_nodes = train_test_split(graph, test_fraction=0.3, seed=0)
+    print(f"Workload: {graph.num_nodes:,} nodes, fraud rate {100*graph.fraud_rate():.2f}%")
+
+    # The paper's footnote-1 homophily tests: which entity types carry
+    # fraud signal? (pmt should stand out — stolen cards.)
+    print("\nHomophily tests per entity type:")
+    print(render_homophily_report(homophily_report(graph)))
+
+    detector = XFraudDetectorPlus(
+        DetectorConfig(feature_dim=graph.feature_dim, hidden_dim=64, num_heads=4, seed=0)
+    )
+    print("Training ...")
+    Trainer(detector, TrainConfig(epochs=12, batch_size=2048, learning_rate=1e-2)).fit(
+        graph, train_nodes
+    )
+
+    # Business-unit triage: score the test set, take the riskiest txns.
+    scores = detector.predict_proba(graph, test_nodes)
+    order = np.argsort(-scores)
+    print("\nTop flagged transactions:")
+    ring_records = {r.txn_id for r in log if r.scenario == "warehouse_ring"}
+    txn_of_node = {node: txn for txn, node in index["txn"].items()}
+    flagged = []
+    for position in order[:8]:
+        node = int(test_nodes[position])
+        txn_id = txn_of_node[node]
+        in_ring = "warehouse ring!" if txn_id in ring_records else ""
+        truth = "fraud" if graph.labels[node] == 1 else "legit"
+        print(f"  txn {txn_id} (node {node}): risk={scores[position]:.3f} truth={truth} {in_ring}")
+        flagged.append(node)
+
+    # Pull the community around the riskiest flagged transaction.
+    seed_node = flagged[0]
+    community = extract_community(graph, seed_node, max_nodes=80)
+    print(f"\nCommunity around node {seed_node}:")
+
+    explainer = GNNExplainer(detector, ExplainerConfig(epochs=50, seed=0))
+    explanation = explainer.explain(community.graph, community.seed_local)
+    weights = explanation.undirected_edge_weights(community.graph)
+    print(render_text(community, weights, top_edges=8))
+
+    # Which shared entity does the explainer point at?
+    addr_type = NODE_TYPE_IDS["addr"]
+    addr_strength = {}
+    for (u, v), weight in weights.items():
+        for node in (u, v):
+            if community.graph.node_type[node] == addr_type:
+                addr_strength[node] = addr_strength.get(node, 0.0) + weight
+    if addr_strength:
+        hub = max(addr_strength, key=addr_strength.get)
+        degree = len(community.graph.in_neighbors(hub))
+        print(
+            f"\nStrongest shipping address: local node {hub} "
+            f"(degree {degree}, accumulated edge weight {addr_strength[hub]:.2f})"
+        )
+        print("A high-degree address shared across buyers is the warehouse pattern "
+              "the paper's Figure 11 describes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Incremental / online training (Appendix H.5).
+
+The paper's production proposal: train on historical data (period
+T-1), then fine-tune with the newest period's transactions so the
+detector tracks fresh fraud patterns without retraining from scratch.
+We split the synthetic log by timestamp into two periods and compare
+(a) the stale model, (b) the fine-tuned model, and (c) a model trained
+on period T only, all evaluated on period-T transactions.
+
+Run:  python examples/incremental_training.py
+"""
+
+import numpy as np
+
+from repro import (
+    DetectorConfig,
+    GeneratorConfig,
+    TrainConfig,
+    Trainer,
+    TransactionGenerator,
+    XFraudDetectorPlus,
+)
+from repro.graph import GraphBuilder
+from repro.train import roc_auc
+
+
+def main() -> None:
+    generator = TransactionGenerator(
+        GeneratorConfig(num_benign_buyers=700, feature_dim=64, seed=21)
+    )
+    log = generator.downsample_benign(generator.generate())
+    graph, index = GraphBuilder().build(log)
+
+    # Split labeled transactions by timestamp median: T-1 vs T.
+    stamps = {index["txn"][r.txn_id]: r.timestamp for r in log}
+    nodes = np.array(sorted(stamps, key=stamps.get))
+    cut = len(nodes) // 2
+    period_prev, period_now = nodes[:cut], nodes[cut:]
+    rng = np.random.default_rng(0)
+    now_shuffled = rng.permutation(period_now)
+    finetune_nodes = now_shuffled[: len(now_shuffled) // 2]
+    eval_nodes = now_shuffled[len(now_shuffled) // 2 :]
+    print(
+        f"period T-1: {len(period_prev)} txns | period T: {len(finetune_nodes)} "
+        f"fine-tune + {len(eval_nodes)} eval"
+    )
+
+    config = DetectorConfig(feature_dim=graph.feature_dim, hidden_dim=64, num_heads=4, seed=0)
+
+    def auc(model):
+        scores = model.predict_proba(graph, eval_nodes)
+        return roc_auc(graph.labels[eval_nodes], scores)
+
+    print("\nTraining on period T-1 (historical) ...")
+    stale = XFraudDetectorPlus(config)
+    Trainer(stale, TrainConfig(epochs=12, batch_size=2048, learning_rate=1e-2)).fit(
+        graph, period_prev
+    )
+    stale_auc = auc(stale)
+    print(f"  stale model AUC on period T: {stale_auc:.4f}")
+
+    print("Fine-tuning with period-T data (incremental update) ...")
+    finetuned = XFraudDetectorPlus(config)
+    finetuned.load_state_dict(stale.state_dict())
+    Trainer(
+        finetuned, TrainConfig(epochs=3, batch_size=2048, learning_rate=1e-3)
+    ).fit(graph, np.concatenate([period_prev, finetune_nodes]))
+    finetuned_auc = auc(finetuned)
+    print(f"  fine-tuned model AUC on period T: {finetuned_auc:.4f}")
+
+    print("Training from scratch on period T only (forgets history) ...")
+    fresh = XFraudDetectorPlus(config)
+    Trainer(fresh, TrainConfig(epochs=12, batch_size=2048, learning_rate=1e-2)).fit(
+        graph, finetune_nodes
+    )
+    fresh_auc = auc(fresh)
+    print(f"  period-T-only model AUC: {fresh_auc:.4f}")
+
+    print(
+        f"\nstale={stale_auc:.4f}  fine-tuned={finetuned_auc:.4f}  fresh-only={fresh_auc:.4f}"
+    )
+    print(
+        "Fine-tuning recovers most of the gap to a period-T model at a "
+        "fraction of the training cost. Appendix H.5's caveat: in "
+        "production one should combine historical and up-to-date data — "
+        "long-con accounts are 'cultivated' over months, so purely fresh "
+        "models (which win on this short synthetic horizon) would miss "
+        "slowly-built fraud patterns."
+    )
+
+
+if __name__ == "__main__":
+    main()

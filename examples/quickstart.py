@@ -1,0 +1,63 @@
+"""Quickstart: train the xFraud detector+ and score transactions.
+
+Builds a synthetic eBay-small-like transaction graph, trains the
+heterogeneous-GNN detector, and reports the evaluation metrics the
+paper uses (accuracy / AP / AUC), plus a few scored transactions.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DetectorConfig,
+    TrainConfig,
+    Trainer,
+    XFraudDetectorPlus,
+    ebay_small_sim,
+)
+
+
+def main() -> None:
+    print("Building the ebay-small-sim transaction graph ...")
+    data = ebay_small_sim(seed=0, scale=0.5)
+    summary = data.summary()
+    print(
+        f"  {summary['num_nodes']:,} nodes / {summary['num_edges']:,} edges, "
+        f"fraud rate {summary['fraud_pct']}%"
+    )
+
+    config = DetectorConfig(
+        feature_dim=data.graph.feature_dim,
+        hidden_dim=64,
+        num_heads=4,
+        num_layers=2,
+        seed=0,
+    )
+    detector = XFraudDetectorPlus(config)
+    trainer = Trainer(
+        detector, TrainConfig(epochs=12, batch_size=2048, learning_rate=1e-2)
+    )
+
+    print("Training the detector ...")
+    result = trainer.fit(data.graph, data.train_nodes, eval_nodes=data.test_nodes)
+    for record in result.history:
+        print(
+            f"  epoch {record.epoch}: loss={record.loss:.4f} "
+            f"test AUC={record.eval_auc:.4f} ({record.seconds:.2f}s)"
+        )
+
+    metrics = trainer.evaluate(data.graph, data.test_nodes)
+    print(
+        f"\nTest metrics: accuracy={metrics['accuracy']:.4f} "
+        f"AP={metrics['ap']:.4f} AUC={metrics['auc']:.4f}"
+    )
+
+    print("\nRisk scores for the first five test transactions:")
+    sample = data.test_nodes[:5]
+    scores = detector.predict_proba(data.graph, sample)
+    for node, score in zip(sample, scores):
+        label = "fraud" if data.graph.labels[node] == 1 else "legit"
+        print(f"  txn node {node}: risk={score:.4f} (truth: {label})")
+
+
+if __name__ == "__main__":
+    main()

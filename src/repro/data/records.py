@@ -1,0 +1,88 @@
+"""Transaction-log record types.
+
+A transaction record is one row of the platform's transaction log
+(Figure 3 of the paper): a transaction id, the linking entities it
+uses (buyer account, billing email, payment token, shipping address),
+the feature vector produced by the upstream risk-identification system,
+and the fraud/legit flag used for supervision.
+
+Guest checkouts (Appendix G.3) have ``buyer_id = None`` — the paper
+highlights that xFraud can still link them through payment token,
+email, or shipping address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass
+class TransactionRecord:
+    """One transaction-log row."""
+
+    txn_id: int
+    buyer_id: Optional[int]
+    email_id: int
+    pmt_id: int
+    addr_id: int
+    label: int
+    timestamp: float
+    features: np.ndarray
+    scenario: str = "benign"
+
+    def linked_entities(self) -> List[tuple]:
+        """(entity_kind, entity_id) pairs this transaction links to."""
+        links = [
+            ("pmt", self.pmt_id),
+            ("email", self.email_id),
+            ("addr", self.addr_id),
+        ]
+        if self.buyer_id is not None:
+            links.append(("buyer", self.buyer_id))
+        return links
+
+    @property
+    def is_guest_checkout(self) -> bool:
+        return self.buyer_id is None
+
+
+@dataclass
+class TransactionLog:
+    """A batch of transaction records plus bookkeeping."""
+
+    records: List[TransactionRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def append(self, record: TransactionRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records: List[TransactionRecord]) -> None:
+        self.records.extend(records)
+
+    def fraud_rate(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.label for r in self.records]))
+
+    def feature_matrix(self) -> np.ndarray:
+        """Stacked transaction features in record order."""
+        if not self.records:
+            return np.zeros((0, 0))
+        return np.stack([r.features for r in self.records])
+
+    def labels(self) -> np.ndarray:
+        return np.array([r.label for r in self.records], dtype=np.int64)
+
+    def scenario_counts(self) -> dict:
+        counts: dict = {}
+        for record in self.records:
+            counts[record.scenario] = counts.get(record.scenario, 0) + 1
+        return counts

@@ -1,0 +1,108 @@
+"""Heterogeneous-graph dataset survey (Appendix A, Table 5 / Figure 1).
+
+The paper situates its workload against the heterogeneous datasets
+used in the literature 2015–2021. The survey is static data; we encode
+it so the bench target can regenerate the table and the log-log node /
+edge landscape of Figure 1, with the three (simulated) xFraud datasets
+appended from live statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SurveyEntry:
+    year: int
+    paper: str
+    dataset: str
+    num_nodes: float
+    num_edges: float
+
+    @property
+    def edges_per_node(self) -> float:
+        return self.num_edges / self.num_nodes if self.num_nodes else 0.0
+
+
+HETERO_DATASET_SURVEY: List[SurveyEntry] = [
+    SurveyEntry(2015, "HNE", "BlogCatalog", 5_196, 171_743),
+    SurveyEntry(2015, "HNE", "PPI", 16_545, 1_098_711),
+    SurveyEntry(2015, "HNE", "DBLP", 69_110, 1_884_236),
+    SurveyEntry(2017, "MVE", "Youtube", 14_901, 13_552_130),
+    SurveyEntry(2017, "MVE", "Twitter", 304_692, 131_151_083),
+    SurveyEntry(2017, "MVE", "Flickr", 35_314, 6_548_830),
+    SurveyEntry(2018, "GEM", "GEM-graph", 8e6, 1e7),
+    SurveyEntry(2018, "HERec", "Yelp", 95_110, 488_120),
+    SurveyEntry(2018, "HERec", "Douban Book", 138_423, 1_026_046),
+    SurveyEntry(2018, "HERec", "Douban Movie", 90_241, 1_714_941),
+    SurveyEntry(2018, "metapath2vec", "DBIS", 78_366, 326_481),
+    SurveyEntry(2018, "metapath2vec", "AMiner CS", 12_522_027, 14_215_558),
+    SurveyEntry(2018, "mvn2vec", "Twitter", 116_408, 183_341),
+    SurveyEntry(2018, "mvn2vec", "Youtube", 14_900, 7_977_881),
+    SurveyEntry(2018, "mvn2vec", "Snapchat", 7_406_859, 131_729_903),
+    SurveyEntry(2019, "GATNE", "Alibaba-S", 6_163, 17_865),
+    SurveyEntry(2019, "GATNE", "Amazon-GATNE", 312_320, 7_500_100),
+    SurveyEntry(2019, "GATNE", "YouTube", 15_088, 13_628_895),
+    SurveyEntry(2019, "GATNE", "Twitter", 456_626, 15_367_315),
+    SurveyEntry(2019, "GATNE", "Alibaba", 41_991_048, 571_892_183),
+    SurveyEntry(2019, "GTN", "DBLP", 26_128, 239_566),
+    SurveyEntry(2019, "HAN", "IMDB", 21_420, 86_642),
+    SurveyEntry(2019, "HAN", "ACM", 10_942, 547_872),
+    SurveyEntry(2019, "HAN", "Yelp", 3_913, 38_680),
+    SurveyEntry(2019, "HeGAN", "DBLP", 37_791, 170_794),
+    SurveyEntry(2019, "HeGAN", "Aminer", 312_776, 599_951),
+    SurveyEntry(2019, "HetGNN", "Movielens", 10_038, 1_014_164),
+    SurveyEntry(2019, "HetGNN", "Academic II", 49_708, 137_286),
+    SurveyEntry(2019, "HetGNN", "Academic I", 272_272, 544_976),
+    SurveyEntry(2019, "HetGNN", "CDs Review", 123_736, 555_050),
+    SurveyEntry(2019, "HetGNN", "Movie Review", 74_701, 629_125),
+    SurveyEntry(2020, "HGT", "ogbn-mag", 179e6, 2e9),
+    SurveyEntry(2020, "HNE-survey", "PubMed", 63_109, 244_986),
+    SurveyEntry(2020, "MAGNN", "LastFM-r", 71_689, 3_034_763),
+    SurveyEntry(2020, "MAGNN", "Amazon", 10_099, 113_637),
+    SurveyEntry(2020, "MV-ACM", "Alibaba", 40_324, 149_587),
+    SurveyEntry(2020, "MV-ACM", "Twitter", 40_000, 1_028_364),
+    SurveyEntry(2020, "MV-ACM", "PPI", 15_005, 1_044_541),
+    SurveyEntry(2020, "MV-ACM", "Youtube", 2_000, 1_114_025),
+    SurveyEntry(2020, "MV-ACM", "Aminer", 178_385, 5_935_349),
+    SurveyEntry(2021, "HGB", "LastFM", 20_612, 141_521),
+    SurveyEntry(2021, "HGB", "Amazon", 10_099, 148_659),
+    SurveyEntry(2021, "HGB", "Freebase", 180_098, 148_659),
+    SurveyEntry(2021, "HGB", "Movielens", 43_567, 539_300),
+    SurveyEntry(2021, "HGB", "Amazon-book", 95_594, 846_434),
+    SurveyEntry(2021, "HGB", "Yelp-2018", 91_457, 1_183_610),
+    SurveyEntry(2021, "xFraud", "eBay-small", 288_853, 612_904),
+    SurveyEntry(2021, "xFraud", "eBay-large", 8_857_866, 13_158_984),
+    SurveyEntry(2021, "xFraud", "eBay-xlarge", 1.1e9, 3.7e9),
+]
+
+
+def survey_table(extra: Optional[List[SurveyEntry]] = None) -> List[dict]:
+    """Table-5-style rows, sorted by year then paper."""
+    entries = list(HETERO_DATASET_SURVEY)
+    if extra:
+        entries.extend(extra)
+    entries.sort(key=lambda e: (e.year, e.paper, e.dataset))
+    return [
+        {
+            "year": entry.year,
+            "paper": entry.paper,
+            "dataset": entry.dataset,
+            "num_nodes": entry.num_nodes,
+            "num_edges": entry.num_edges,
+            "edges_per_node": round(entry.edges_per_node, 2),
+        }
+        for entry in entries
+    ]
+
+
+def landscape_points(extra: Optional[List[SurveyEntry]] = None) -> np.ndarray:
+    """(log10 nodes, log10 edges) scatter of Figure 1."""
+    entries = list(HETERO_DATASET_SURVEY) + list(extra or [])
+    return np.array(
+        [[np.log10(e.num_nodes), np.log10(e.num_edges)] for e in entries if e.num_nodes > 0]
+    )

@@ -1,0 +1,124 @@
+"""Community visualisation and case-study analysis (Sec. 5.2, App. G).
+
+The paper visualises explained communities as weighted undirected
+graphs (thicker edge = stronger connection) and analyses TP/FP/FN/TN
+cases against community complexity (Table 13: simple = one buyer,
+complex = more). This module renders communities as text and Graphviz
+DOT, and computes the case-study confusion breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph.community import Community
+from ..graph.hetero import NODE_TYPES
+
+EdgeWeights = Dict[Tuple[int, int], float]
+
+_TYPE_GLYPH = {"txn": "T", "pmt": "P", "email": "E", "addr": "A", "buyer": "B"}
+
+
+def render_text(
+    community: Community,
+    edge_weights: Optional[EdgeWeights] = None,
+    top_edges: int = 10,
+) -> str:
+    """Human-readable summary of a community and its strongest edges."""
+    graph = community.graph
+    lines = [
+        f"community(seed={community.seed_original}, label={community.label}, "
+        f"nodes={graph.num_nodes}, edges={len(community.undirected_edges())}, "
+        f"buyers={community.num_buyers}, "
+        f"{'simple' if community.is_simple else 'complex'})"
+    ]
+    counts = graph.node_type_counts()
+    lines.append("  types: " + ", ".join(f"{t}={counts[t]}" for t in NODE_TYPES))
+    if edge_weights:
+        ranked = sorted(edge_weights.items(), key=lambda item: -item[1])[:top_edges]
+        for (u, v), weight in ranked:
+            glyph_u = _TYPE_GLYPH[NODE_TYPES[graph.node_type[u]]]
+            glyph_v = _TYPE_GLYPH[NODE_TYPES[graph.node_type[v]]]
+            label_u = f"{glyph_u}{u}" + ("*" if u == community.seed_local else "")
+            label_v = f"{glyph_v}{v}" + ("*" if v == community.seed_local else "")
+            lines.append(f"  {label_u:>6} -- {label_v:<6} w={weight:.3f}")
+    return "\n".join(lines)
+
+
+def render_dot(community: Community, edge_weights: Optional[EdgeWeights] = None) -> str:
+    """Graphviz DOT export; edge penwidth encodes the weight."""
+    graph = community.graph
+    lines = ["graph community {"]
+    for node in range(graph.num_nodes):
+        node_type = NODE_TYPES[graph.node_type[node]]
+        attributes = [f'label="{_TYPE_GLYPH[node_type]}{node}"']
+        if node == community.seed_local:
+            attributes.append("shape=doublecircle")
+        if graph.labels[node] == 1:
+            attributes.append('color="red"')
+        elif graph.labels[node] == 0:
+            attributes.append('color="green"')
+        lines.append(f"  n{node} [{', '.join(attributes)}];")
+    weights = edge_weights or {}
+    if weights:
+        values = np.array(list(weights.values()))
+        low, high = values.min(), values.max()
+        span = (high - low) or 1.0
+    for u, v in community.undirected_edges():
+        weight = weights.get((u, v))
+        if weight is None:
+            lines.append(f"  n{u} -- n{v};")
+        else:
+            penwidth = 1.0 + 4.0 * (weight - low) / span
+            lines.append(f'  n{u} -- n{v} [penwidth={penwidth:.2f}, label="{weight:.2f}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+@dataclass
+class CaseStudy:
+    """One community's detection outcome."""
+
+    community: Community
+    score: float
+    predicted: int
+
+    @property
+    def condition(self) -> str:
+        truth, predicted = self.community.label, self.predicted
+        if truth == 1 and predicted == 1:
+            return "TP"
+        if truth == 0 and predicted == 0:
+            return "TN"
+        if truth == 0 and predicted == 1:
+            return "FP"
+        return "FN"
+
+
+def classify_communities(
+    communities: Sequence[Community],
+    scores: Sequence[float],
+    threshold: float = 0.5,
+) -> Tuple[CaseStudy, ...]:
+    """Case-study records from detector scores on community seeds."""
+    if len(communities) != len(scores):
+        raise ValueError("one score per community required")
+    return tuple(
+        CaseStudy(community=c, score=float(s), predicted=int(s >= threshold))
+        for c, s in zip(communities, scores)
+    )
+
+
+def confusion_by_complexity(cases: Sequence[CaseStudy]) -> Dict[str, Dict[str, int]]:
+    """Table 13: TP/TN/FP/FN counts split by simple vs complex."""
+    table = {
+        "simple": {"TP": 0, "TN": 0, "FP": 0, "FN": 0},
+        "complex": {"TP": 0, "TN": 0, "FP": 0, "FN": 0},
+    }
+    for case in cases:
+        bucket = "simple" if case.community.is_simple else "complex"
+        table[bucket][case.condition] += 1
+    return table

@@ -1,0 +1,41 @@
+"""repro.graph — heterogeneous transaction-graph substrate."""
+
+from .builder import BuildConfig, GraphBuilder, train_test_split
+from .community import Community, extract_community, select_communities
+from .homophily import HomophilyScore, homophily_report, homophily_score, render_homophily_report
+from .hetero import (
+    EDGE_TYPE_IDS,
+    EDGE_TYPES,
+    NODE_TYPE_IDS,
+    NODE_TYPES,
+    HeteroGraph,
+    edge_type_between,
+)
+from .partition import group_partitions, pic_partition, power_iteration_embedding
+from .sampling import HGSampler, SageSampler, SampledSubgraph, batched
+
+__all__ = [
+    "HeteroGraph",
+    "NODE_TYPES",
+    "NODE_TYPE_IDS",
+    "EDGE_TYPES",
+    "EDGE_TYPE_IDS",
+    "edge_type_between",
+    "HomophilyScore",
+    "homophily_score",
+    "homophily_report",
+    "render_homophily_report",
+    "GraphBuilder",
+    "BuildConfig",
+    "train_test_split",
+    "Community",
+    "extract_community",
+    "select_communities",
+    "SageSampler",
+    "HGSampler",
+    "SampledSubgraph",
+    "batched",
+    "pic_partition",
+    "power_iteration_embedding",
+    "group_partitions",
+]

@@ -1,0 +1,153 @@
+"""Optimisers and gradient utilities.
+
+The paper trains every model with AdamW and gradient-norm clipping at
+0.25 (Appendix C hyperparameters); SGD and Adam are provided for the
+test suite and ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .module import Parameter
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= max_norm.
+
+    Returns the norm observed before clipping, matching the torch API.
+    """
+    params = [p for p in parameters if p.grad is not None]
+    if not params:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / (total + 1e-12)
+        for param in params:
+            param.grad *= scale
+    return total
+
+
+class Optimizer:
+    """Base optimiser holding a parameter list."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity: Optional[List[np.ndarray]] = None
+
+    def step(self) -> None:
+        if self.momentum and self._velocity is None:
+            self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        for i, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            if self.momentum:
+                self._velocity[i] = self.momentum * self._velocity[i] + param.grad
+                param.data -= self.lr * self._velocity[i]
+            else:
+                param.data -= self.lr * param.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _update(self, param: Parameter, index: int, grad: np.ndarray) -> None:
+        self._m[index] = self.beta1 * self._m[index] + (1 - self.beta1) * grad
+        self._v[index] = self.beta2 * self._v[index] + (1 - self.beta2) * grad**2
+        m_hat = self._m[index] / (1 - self.beta1**self._step)
+        v_hat = self._v[index] / (1 - self.beta2**self._step)
+        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def step(self) -> None:
+        self._step += 1
+        for i, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            self._update(param, i, grad)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter).
+
+    This is the optimiser the paper uses ("optimizer = adamw").
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+    ) -> None:
+        super().__init__(parameters, lr=lr, betas=betas, eps=eps, weight_decay=0.0)
+        self.decoupled_weight_decay = weight_decay
+
+    def step(self) -> None:
+        self._step += 1
+        for i, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            # Decoupled decay applies directly to weights, not the grad.
+            if self.decoupled_weight_decay:
+                param.data -= self.lr * self.decoupled_weight_decay * param.data
+            self._update(param, i, param.grad)
+
+
+class CosineDecay:
+    """Cosine learning-rate schedule over a fixed horizon."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, min_lr: float = 0.0) -> None:
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+        self._step = 0
+
+    def step(self) -> float:
+        self._step = min(self._step + 1, self.total_steps)
+        fraction = self._step / self.total_steps
+        lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + np.cos(np.pi * fraction))
+        self.optimizer.lr = lr
+        return lr

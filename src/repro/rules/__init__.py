@@ -1,0 +1,21 @@
+"""repro.rules — skope-rules-like mining and the Appendix-B prefilter."""
+
+from .miner import Condition, MinerConfig, Rule, RuleMiner, RuleSet
+from .prefilter import (
+    PipelineResult,
+    PipelineStage,
+    appendix_b_pipeline,
+    rule_prefilter,
+)
+
+__all__ = [
+    "Condition",
+    "Rule",
+    "RuleSet",
+    "RuleMiner",
+    "MinerConfig",
+    "rule_prefilter",
+    "appendix_b_pipeline",
+    "PipelineResult",
+    "PipelineStage",
+]

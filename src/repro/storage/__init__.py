@@ -1,0 +1,12 @@
+"""repro.storage — KV-store substrate for graph data loading."""
+
+from .kvstore import InMemoryKVStore, KVStore, MmapKVStore
+from .loader import GraphStore, WorkerLoader
+
+__all__ = [
+    "KVStore",
+    "InMemoryKVStore",
+    "MmapKVStore",
+    "GraphStore",
+    "WorkerLoader",
+]

@@ -1,0 +1,188 @@
+"""Lightweight KV-stores for graph data (Sec. 3.3.3, Figures 12/13).
+
+The paper stores all graph-related information in a KV-store. Its
+first implementation used LevelDB, whose single-threaded access became
+the system bottleneck (45 min/epoch on eBay-large); switching to LMDB,
+which supports many concurrent memory-mapped readers, cut data loading
+to ~1 min/epoch. We reproduce both designs:
+
+* :class:`InMemoryKVStore` — dict-backed reference implementation.
+* :class:`MmapKVStore` — append-only data file + in-memory key index,
+  read through ``mmap``. Opened in one of two modes:
+
+  - ``single_handle=True`` (the LevelDB-like design): every reader
+    shares one handle guarded by a mutex, so concurrent workers
+    serialise;
+  - ``single_handle=False`` (the LMDB-like design): each worker opens
+    its **own** handle via :meth:`reader` and reads without locking
+    (the file is immutable once written).
+
+Values are arbitrary bytes; :mod:`repro.storage.loader` layers numpy
+(de)serialisation on top.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import threading
+from typing import Dict, Iterator, List, Optional, Tuple
+
+_LENGTH_FORMAT = "<Q"
+_LENGTH_BYTES = struct.calcsize(_LENGTH_FORMAT)
+
+
+class KVStore:
+    """Abstract byte-oriented key-value store."""
+
+    def put(self, key: str, value: bytes) -> None:
+        raise NotImplementedError
+
+    def get(self, key: str) -> bytes:
+        raise NotImplementedError
+
+    def contains(self, key: str) -> bool:
+        raise NotImplementedError
+
+    def keys(self) -> List[str]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        return None
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def __enter__(self) -> "KVStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class InMemoryKVStore(KVStore):
+    """Dict-backed store for tests and small graphs."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, bytes] = {}
+
+    def put(self, key: str, value: bytes) -> None:
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError("values must be bytes")
+        self._data[key] = bytes(value)
+
+    def get(self, key: str) -> bytes:
+        if key not in self._data:
+            raise KeyError(key)
+        return self._data[key]
+
+    def contains(self, key: str) -> bool:
+        return key in self._data
+
+    def keys(self) -> List[str]:
+        return list(self._data.keys())
+
+    def delete(self, key: str) -> None:
+        self._data.pop(key, None)
+
+
+class _MmapReader:
+    """One independent memory-mapped read handle."""
+
+    def __init__(self, path: str, index: Dict[str, Tuple[int, int]]) -> None:
+        self._file = open(path, "rb")
+        size = os.path.getsize(path)
+        self._map = mmap.mmap(self._file.fileno(), size, access=mmap.ACCESS_READ) if size else None
+        self._index = index
+
+    def get(self, key: str) -> bytes:
+        if key not in self._index:
+            raise KeyError(key)
+        if self._map is None:
+            raise KeyError(key)
+        offset, length = self._index[key]
+        return self._map[offset : offset + length]
+
+    def close(self) -> None:
+        if self._map is not None:
+            self._map.close()
+        self._file.close()
+
+
+class MmapKVStore(KVStore):
+    """File-backed append-only KV-store with mmap readers.
+
+    Writing happens in a build phase (``put``); reading requires
+    :meth:`finalize` (writes are flushed and the file becomes
+    immutable), mirroring the paper's one-time graph ingestion.
+    """
+
+    def __init__(self, path: str, single_handle: bool = False) -> None:
+        self.path = path
+        self.single_handle = single_handle
+        self._index: Dict[str, Tuple[int, int]] = {}
+        self._write_file = open(path, "wb")
+        self._offset = 0
+        self._finalized = False
+        self._shared_reader: Optional[_MmapReader] = None
+        self._lock = threading.Lock()
+
+    # -- write phase ----------------------------------------------------
+    def put(self, key: str, value: bytes) -> None:
+        if self._finalized:
+            raise RuntimeError("store is finalized; writes are not allowed")
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError("values must be bytes")
+        self._write_file.write(value)
+        self._index[key] = (self._offset, len(value))
+        self._offset += len(value)
+
+    def finalize(self) -> None:
+        """Flush writes and switch to read mode."""
+        if self._finalized:
+            return
+        self._write_file.flush()
+        self._write_file.close()
+        self._finalized = True
+        self._shared_reader = _MmapReader(self.path, self._index)
+
+    # -- read phase -------------------------------------------------------
+    def get(self, key: str) -> bytes:
+        if not self._finalized:
+            raise RuntimeError("finalize() the store before reading")
+        if self.single_handle:
+            # LevelDB-like: one handle, all readers serialise on a lock.
+            with self._lock:
+                return self._shared_reader.get(key)
+        return self._shared_reader.get(key)
+
+    def reader(self) -> _MmapReader:
+        """A private read handle (the LMDB-like multi-loader design).
+
+        Raises in single-handle mode: that is precisely what the
+        LevelDB-style deployment could not provide.
+        """
+        if not self._finalized:
+            raise RuntimeError("finalize() the store before reading")
+        if self.single_handle:
+            raise RuntimeError("single-handle store cannot open per-worker readers")
+        return _MmapReader(self.path, self._index)
+
+    def contains(self, key: str) -> bool:
+        return key in self._index
+
+    def keys(self) -> List[str]:
+        return list(self._index.keys())
+
+    def items(self) -> Iterator[Tuple[str, bytes]]:
+        for key in self._index:
+            yield key, self.get(key)
+
+    def close(self) -> None:
+        if not self._finalized:
+            self._write_file.close()
+            self._finalized = True
+        if self._shared_reader is not None:
+            self._shared_reader.close()
+            self._shared_reader = None

@@ -1,0 +1,94 @@
+"""Graph data loaders on top of the KV-store (Sec. 3.3.3).
+
+:class:`GraphStore` serialises a :class:`~repro.graph.hetero.HeteroGraph`
+into a KV-store (one entry per node's feature row plus the structural
+arrays) and loads it back. :class:`WorkerLoader` is the per-worker data
+loader: in the multi-handle design each worker owns an independent
+mmap handle, which is the optimisation that removed the paper's
+data-loading bottleneck (Figures 12 → 13).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..graph.hetero import HeteroGraph
+from .kvstore import KVStore, MmapKVStore, _MmapReader
+
+
+def _encode_array(array: np.ndarray) -> bytes:
+    buffer = io.BytesIO()
+    np.save(buffer, np.ascontiguousarray(array), allow_pickle=False)
+    return buffer.getvalue()
+
+
+def _decode_array(blob: bytes) -> np.ndarray:
+    return np.load(io.BytesIO(blob), allow_pickle=False)
+
+
+class GraphStore:
+    """(De)serialise a heterogeneous graph through a KV-store."""
+
+    STRUCT_KEYS = ("node_type", "edge_src", "edge_dst", "edge_type", "labels")
+
+    def __init__(self, store: KVStore) -> None:
+        self.store = store
+
+    def save(self, graph: HeteroGraph) -> None:
+        """Write structure arrays and one feature row per node."""
+        for key in self.STRUCT_KEYS:
+            self.store.put(f"struct/{key}", _encode_array(getattr(graph, key)))
+        self.store.put(
+            "struct/meta",
+            _encode_array(np.array([graph.num_nodes, graph.feature_dim], dtype=np.int64)),
+        )
+        for node in range(graph.num_nodes):
+            self.store.put(f"feat/{node}", _encode_array(graph.txn_features[node]))
+        if isinstance(self.store, MmapKVStore):
+            self.store.finalize()
+
+    def load(self) -> HeteroGraph:
+        """Reassemble the full graph."""
+        arrays = {key: _decode_array(self.store.get(f"struct/{key}")) for key in self.STRUCT_KEYS}
+        meta = _decode_array(self.store.get("struct/meta"))
+        num_nodes, feature_dim = int(meta[0]), int(meta[1])
+        features = np.zeros((num_nodes, feature_dim))
+        for node in range(num_nodes):
+            features[node] = _decode_array(self.store.get(f"feat/{node}"))
+        return HeteroGraph(txn_features=features, **arrays)
+
+    def load_features(self, nodes: Sequence[int]) -> np.ndarray:
+        """Fetch feature rows through the shared store handle."""
+        rows = [_decode_array(self.store.get(f"feat/{int(node)}")) for node in nodes]
+        return np.stack(rows) if rows else np.zeros((0, 0))
+
+
+class WorkerLoader:
+    """Per-worker feature loader.
+
+    With ``private_handle=True`` (LMDB-style) the loader opens its own
+    mmap reader; otherwise every call goes through the store's shared,
+    possibly lock-guarded handle (LevelDB-style).
+    """
+
+    def __init__(self, store: KVStore, private_handle: bool = True) -> None:
+        self.store = store
+        self._reader: Optional[_MmapReader] = None
+        if private_handle and isinstance(store, MmapKVStore) and not store.single_handle:
+            self._reader = store.reader()
+
+    def load_features(self, nodes: Sequence[int]) -> np.ndarray:
+        rows: List[np.ndarray] = []
+        for node in nodes:
+            key = f"feat/{int(node)}"
+            blob = self._reader.get(key) if self._reader is not None else self.store.get(key)
+            rows.append(_decode_array(blob))
+        return np.stack(rows) if rows else np.zeros((0, 0))
+
+    def close(self) -> None:
+        if self._reader is not None:
+            self._reader.close()
+            self._reader = None

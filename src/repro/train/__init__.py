@@ -1,0 +1,45 @@
+"""repro.train — training loops, distributed simulation, and metrics."""
+
+from .distributed import (
+    DistributedEpoch,
+    DistributedResult,
+    DistributedTrainer,
+    WorkerPartition,
+    make_worker_partitions,
+)
+from .metrics import (
+    ConfusionRates,
+    accuracy,
+    average_precision,
+    confusion_rates,
+    partial_roc_auc,
+    precision_recall_curve,
+    project_precision_to_stream,
+    roc_auc,
+    roc_curve,
+    threshold_sweep,
+)
+from .trainer import EpochRecord, TrainConfig, Trainer, TrainResult, measure_inference_time
+
+__all__ = [
+    "Trainer",
+    "TrainConfig",
+    "TrainResult",
+    "EpochRecord",
+    "measure_inference_time",
+    "DistributedTrainer",
+    "DistributedResult",
+    "DistributedEpoch",
+    "WorkerPartition",
+    "make_worker_partitions",
+    "roc_auc",
+    "roc_curve",
+    "partial_roc_auc",
+    "precision_recall_curve",
+    "average_precision",
+    "accuracy",
+    "confusion_rates",
+    "ConfusionRates",
+    "threshold_sweep",
+    "project_precision_to_stream",
+]

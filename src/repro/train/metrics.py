@@ -1,0 +1,206 @@
+"""Evaluation metrics for the imbalanced fraud-detection task.
+
+Everything the paper reports: AUC-ROC, average precision (AP),
+accuracy, full ROC and precision-recall curves (Figures 8/9/15),
+confusion-rate tables and precision/recall sweeps over prediction-score
+thresholds (Tables 14–19), plus the precision re-projection onto the
+pre-downsampling stream of Appendix H.4.
+
+Implemented from scratch on numpy (no sklearn dependency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _validate(labels: np.ndarray, scores: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    labels = np.asarray(labels, dtype=np.int64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same shape")
+    if len(labels) == 0:
+        raise ValueError("empty inputs")
+    if not np.all((labels == 0) | (labels == 1)):
+        raise ValueError("labels must be binary 0/1")
+    return labels, scores
+
+
+def roc_curve(labels: Sequence[int], scores: Sequence[float]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC curve: (fpr, tpr, thresholds), thresholds descending."""
+    labels, scores = _validate(np.asarray(labels), np.asarray(scores))
+    order = np.argsort(-scores, kind="stable")
+    labels = labels[order]
+    scores = scores[order]
+    distinct = np.flatnonzero(np.diff(scores)) if len(scores) > 1 else np.array([], dtype=int)
+    cut = np.concatenate([distinct, [len(labels) - 1]])
+
+    tps = np.cumsum(labels)[cut]
+    fps = (1 + cut) - tps
+    total_pos = labels.sum()
+    total_neg = len(labels) - total_pos
+    tpr = tps / max(total_pos, 1)
+    fpr = fps / max(total_neg, 1)
+    thresholds = scores[cut]
+    # Prepend the (0, 0) origin.
+    return (
+        np.concatenate([[0.0], fpr]),
+        np.concatenate([[0.0], tpr]),
+        np.concatenate([[np.inf], thresholds]),
+    )
+
+
+def roc_auc(labels: Sequence[int], scores: Sequence[float]) -> float:
+    """Area under the ROC curve via the trapezoid rule.
+
+    Raises ValueError when only one class is present (AUC undefined).
+    """
+    labels, scores = _validate(np.asarray(labels), np.asarray(scores))
+    if labels.min() == labels.max():
+        raise ValueError("AUC needs both classes present")
+    fpr, tpr, _ = roc_curve(labels, scores)
+    return float(np.trapezoid(tpr, fpr))
+
+
+def partial_roc_auc(labels: Sequence[int], scores: Sequence[float], max_fpr: float = 0.1) -> float:
+    """AUC restricted to FPR <= max_fpr (Figure 9's regime)."""
+    fpr, tpr, _ = roc_curve(np.asarray(labels), np.asarray(scores))
+    keep = fpr <= max_fpr
+    if keep.sum() < 2:
+        return 0.0
+    fpr_k, tpr_k = fpr[keep], tpr[keep]
+    if fpr_k[-1] < max_fpr and keep.sum() < len(fpr):
+        # Interpolate the curve at exactly max_fpr.
+        nxt = int(keep.sum())
+        span = fpr[nxt] - fpr_k[-1]
+        frac = (max_fpr - fpr_k[-1]) / span if span > 0 else 0.0
+        fpr_k = np.append(fpr_k, max_fpr)
+        tpr_k = np.append(tpr_k, tpr_k[-1] + frac * (tpr[nxt] - tpr_k[-1]))
+    return float(np.trapezoid(tpr_k, fpr_k))
+
+
+def precision_recall_curve(
+    labels: Sequence[int], scores: Sequence[float]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """PR curve: (precision, recall, thresholds), recall ascending order
+    reversed to the conventional descending-threshold sweep."""
+    labels, scores = _validate(np.asarray(labels), np.asarray(scores))
+    order = np.argsort(-scores, kind="stable")
+    labels = labels[order]
+    scores = scores[order]
+    tps = np.cumsum(labels)
+    fps = np.cumsum(1 - labels)
+    distinct = np.flatnonzero(np.diff(scores)) if len(scores) > 1 else np.array([], dtype=int)
+    cut = np.concatenate([distinct, [len(labels) - 1]])
+    precision = tps[cut] / (tps[cut] + fps[cut])
+    recall = tps[cut] / max(labels.sum(), 1)
+    thresholds = scores[cut]
+    # sklearn convention: thresholds ascending, recall descending,
+    # terminating at full precision / zero recall.
+    return (
+        np.concatenate([precision[::-1], [1.0]]),
+        np.concatenate([recall[::-1], [0.0]]),
+        thresholds[::-1],
+    )
+
+
+def average_precision(labels: Sequence[int], scores: Sequence[float]) -> float:
+    """AP: sum over recall steps of precision (step-wise integral)."""
+    precision, recall, _ = precision_recall_curve(labels, scores)
+    # precision/recall arrive with recall descending at the tail; walk
+    # the curve in threshold order.
+    return float(-np.sum(np.diff(recall) * precision[:-1]))
+
+
+def accuracy(labels: Sequence[int], scores: Sequence[float], threshold: float = 0.5) -> float:
+    """Fraction of correct hard predictions at ``threshold``."""
+    labels, scores = _validate(np.asarray(labels), np.asarray(scores))
+    predicted = (scores >= threshold).astype(np.int64)
+    return float((predicted == labels).mean())
+
+
+@dataclass
+class ConfusionRates:
+    """TPR/TNR/FPR/FNR at one threshold (Tables 14–16)."""
+
+    threshold: float
+    tpr: float
+    tnr: float
+    fpr: float
+    fnr: float
+    precision: Optional[float]
+    recall: float
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        return {
+            "threshold": self.threshold,
+            "TPR": self.tpr,
+            "TNR": self.tnr,
+            "FPR": self.fpr,
+            "FNR": self.fnr,
+            "precision": self.precision,
+            "recall": self.recall,
+        }
+
+
+def confusion_rates(labels: Sequence[int], scores: Sequence[float], threshold: float) -> ConfusionRates:
+    """Confusion-rate row at a threshold; precision is None when no
+    score clears the threshold (the paper's "-" cells)."""
+    labels, scores = _validate(np.asarray(labels), np.asarray(scores))
+    predicted = scores >= threshold
+    positives = labels == 1
+    negatives = ~positives
+    tp = int(np.sum(predicted & positives))
+    fp = int(np.sum(predicted & negatives))
+    fn = int(np.sum(~predicted & positives))
+    tn = int(np.sum(~predicted & negatives))
+    tpr = tp / max(tp + fn, 1)
+    tnr = tn / max(tn + fp, 1)
+    precision = tp / (tp + fp) if (tp + fp) > 0 else None
+    return ConfusionRates(
+        threshold=threshold,
+        tpr=tpr,
+        tnr=tnr,
+        fpr=1.0 - tnr,
+        fnr=1.0 - tpr,
+        precision=precision,
+        recall=tpr,
+    )
+
+
+def threshold_sweep(
+    labels: Sequence[int],
+    scores: Sequence[float],
+    thresholds: Sequence[float],
+) -> Tuple[ConfusionRates, ...]:
+    """Tables 14–19: confusion rates over a threshold grid."""
+    return tuple(confusion_rates(labels, scores, t) for t in thresholds)
+
+
+def project_precision_to_stream(
+    precision_sampled: float,
+    fraud_rate_sampled: float,
+    fraud_rate_stream: float,
+) -> float:
+    """Re-project precision from the downsampled set to the raw stream.
+
+    Appendix H.4: a 0.98 precision at 4.33% fraud corresponds to ~0.32
+    at the 0.043% filtered-stream rate, because benign downsampling
+    inflates precision. Derivation via odds: the downsampling keeps all
+    fraud and a fraction ``f`` of benign, with
+    ``f = (fr_s / (1 - fr_s)) / (fr_r / (1 - fr_r))`` linking the two
+    fraud rates; false positives scale back up by ``1/f``.
+    """
+    if not (0 < fraud_rate_stream <= fraud_rate_sampled < 1):
+        raise ValueError("fraud rates must satisfy 0 < stream <= sampled < 1")
+    if precision_sampled <= 0:
+        return 0.0
+    odds_sampled = fraud_rate_sampled / (1 - fraud_rate_sampled)
+    odds_stream = fraud_rate_stream / (1 - fraud_rate_stream)
+    keep_fraction = odds_stream / odds_sampled
+    fp_ratio = (1 - precision_sampled) / precision_sampled
+    fp_ratio_stream = fp_ratio / keep_fraction
+    return 1.0 / (1.0 + fp_ratio_stream)

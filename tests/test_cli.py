@@ -1,0 +1,145 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestDatasetsCommand:
+    def test_prints_summary(self, capsys):
+        assert main(["datasets", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "ebay-small-sim" in out
+        assert "fraud rate" in out
+
+    def test_dataset_choice_validated(self):
+        with pytest.raises(SystemExit):
+            main(["datasets", "--dataset", "nope"])
+
+
+class TestTrainEvaluate:
+    def test_train_save_evaluate(self, tmp_path, capsys):
+        save_path = str(tmp_path / "model.npz")
+        code = main(
+            [
+                "train",
+                "--dataset",
+                "ebay-small-sim",
+                "--scale",
+                "0.1",
+                "--model",
+                "gem",
+                "--epochs",
+                "2",
+                "--save",
+                save_path,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "auc=" in out and "saved model state" in out
+
+        code = main(
+            [
+                "evaluate",
+                "--dataset",
+                "ebay-small-sim",
+                "--scale",
+                "0.1",
+                "--model",
+                "gem",
+                "--load",
+                save_path,
+            ]
+        )
+        assert code == 0
+        assert "auc=" in capsys.readouterr().out
+
+    def test_evaluate_reproduces_training_metrics(self, tmp_path, capsys):
+        save_path = str(tmp_path / "model.npz")
+        main(
+            ["train", "--scale", "0.1", "--model", "gem", "--epochs", "2", "--save", save_path]
+        )
+        train_out = capsys.readouterr().out
+        main(["evaluate", "--scale", "0.1", "--model", "gem", "--load", save_path])
+        eval_out = capsys.readouterr().out
+        train_auc = train_out.split("auc=")[1].split()[0]
+        eval_auc = eval_out.split("auc=")[1].split()[0]
+        assert train_auc == eval_auc
+
+
+class TestExplainCommand:
+    def test_explain_trains_and_renders(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--scale",
+                "0.1",
+                "--model",
+                "detector+",
+                "--epochs",
+                "2",
+                "--explainer-epochs",
+                "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "risk score" in out
+        assert "community(" in out
+
+    def test_explain_rejects_entity_node(self, capsys):
+        # Node 10^9 is out of range -> error exit code 2.
+        code = main(
+            [
+                "explain",
+                "--scale",
+                "0.1",
+                "--epochs",
+                "1",
+                "--explainer-epochs",
+                "2",
+                "--node",
+                "999999999",
+            ]
+        )
+        assert code == 2
+
+    def test_explain_dot_flag(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--scale",
+                "0.1",
+                "--epochs",
+                "1",
+                "--explainer-epochs",
+                "3",
+                "--dot",
+            ]
+        )
+        assert code == 0
+        assert "graph community {" in capsys.readouterr().out
+
+
+class TestPipelineCommand:
+    def test_pipeline_stages_printed(self, capsys):
+        assert main(["pipeline", "--buyers", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "original stream" in out
+        assert "after label sampling" in out
+
+
+class TestExplainWithLoad:
+    def test_explain_loads_saved_model(self, tmp_path, capsys):
+        save_path = str(tmp_path / "m.npz")
+        main(["train", "--scale", "0.1", "--model", "detector+", "--epochs", "2",
+              "--save", save_path])
+        capsys.readouterr()
+        code = main(["explain", "--scale", "0.1", "--model", "detector+",
+                     "--load", save_path, "--explainer-epochs", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "risk score" in out
+        assert "training a detector first" not in out

@@ -1,0 +1,76 @@
+"""Feature-importance reporting from explainer masks."""
+
+import numpy as np
+import pytest
+
+from repro.explain import (
+    ExplainerConfig,
+    FeatureReport,
+    GNNExplainer,
+    feature_report,
+    render_feature_report,
+)
+from repro.graph import select_communities
+
+
+@pytest.fixture(scope="module")
+def explained(trained_detector, tiny_graph, tiny_splits):
+    _, test = tiny_splits
+    community = select_communities(tiny_graph, test, count=1, seed=3, max_hops=3)[0]
+    explainer = GNNExplainer(trained_detector, ExplainerConfig(epochs=15, seed=0))
+    explanation = explainer.explain(community.graph, community.seed_local)
+    return community, explanation
+
+
+class TestFeatureReport:
+    def test_shapes(self, explained):
+        community, explanation = explained
+        report = feature_report(explanation, community)
+        n, f = community.graph.num_nodes, community.graph.feature_dim
+        assert report.node_importance.shape == (n, f)
+        assert report.mean_importance.shape == (f,)
+        assert report.seed_importance.shape == (f,)
+
+    def test_top_dimensions_sorted(self, explained):
+        community, explanation = explained
+        report = feature_report(explanation, community)
+        top = report.top_dimensions(k=4)
+        weights = report.seed_importance[top]
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_top_dimensions_for_other_node(self, explained):
+        community, explanation = explained
+        report = feature_report(explanation, community)
+        top = report.top_dimensions(k=3, node=0)
+        assert len(top) == 3
+
+    def test_block_importance_covers_all_dims(self, explained):
+        community, explanation = explained
+        report = feature_report(explanation, community)
+        blocks = report.block_importance()
+        assert "risk" in blocks and "item_category" in blocks
+        # feature_dim 24 is fully covered by the two named blocks.
+        assert "other" not in blocks
+        assert all(0 <= v <= 1 for v in blocks.values())
+
+    def test_other_block_when_uncovered(self, explained):
+        community, explanation = explained
+        report = feature_report(explanation, community)
+        blocks = report.block_importance(blocks=(("risk", 0, 8),))
+        assert "other" in blocks
+
+    def test_mismatched_community_rejected(self, explained, tiny_graph, tiny_splits):
+        community, explanation = explained
+        _, test = tiny_splits
+        other = select_communities(tiny_graph, test, count=2, seed=9, max_hops=2)[-1]
+        if other.graph.num_nodes == community.graph.num_nodes:
+            pytest.skip("communities coincide in size")
+        with pytest.raises(ValueError):
+            feature_report(explanation, other)
+
+    def test_render(self, explained):
+        community, explanation = explained
+        report = feature_report(explanation, community)
+        text = render_feature_report(report)
+        assert "feature importance" in text
+        assert "block importance" in text

@@ -1,0 +1,174 @@
+"""Synthetic transaction-log generator: scenarios and pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.data import GeneratorConfig, TransactionGenerator, generate_log
+
+
+def tiny_config(**overrides) -> GeneratorConfig:
+    base = dict(
+        num_benign_buyers=40,
+        benign_txns_per_buyer=(2, 4),
+        num_stolen_cards=3,
+        num_warehouse_rings=2,
+        num_apartment_buildings=1,
+        num_cultivated_accounts=2,
+        num_guest_checkouts=5,
+        feature_dim=16,
+        seed=3,
+    )
+    base.update(overrides)
+    return GeneratorConfig(**base)
+
+
+class TestScenarios:
+    def test_all_scenarios_present(self):
+        log = TransactionGenerator(tiny_config()).generate()
+        scenarios = set(log.scenario_counts())
+        assert {"benign", "stolen_card", "warehouse_ring", "cultivated"} <= scenarios
+        assert scenarios & {"guest_linked", "guest_anonymous"}
+
+    def test_stolen_card_reuses_victim_token(self):
+        log = TransactionGenerator(tiny_config()).generate()
+        benign_pmts = {r.pmt_id for r in log if r.scenario == "benign"}
+        stolen = [r for r in log if r.scenario == "stolen_card"]
+        assert stolen
+        assert all(r.pmt_id in benign_pmts for r in stolen)
+        assert all(r.label == 1 for r in stolen)
+
+    def test_warehouse_ring_shares_address(self):
+        log = TransactionGenerator(tiny_config()).generate()
+        ring = [r for r in log if r.scenario == "warehouse_ring"]
+        addresses = {r.addr_id for r in ring}
+        # Few warehouse addresses serve many ring transactions.
+        assert len(addresses) <= 2
+        buyers = {r.buyer_id for r in ring}
+        assert len(buyers) > len(addresses)
+
+    def test_cultivated_attack_same_buyer_new_token(self):
+        log = TransactionGenerator(tiny_config()).generate()
+        benign = {r.buyer_id: r.pmt_id for r in log if r.scenario == "cultivated"}
+        attacks = [r for r in log if r.scenario == "cultivated_attack"]
+        assert attacks
+        for record in attacks:
+            assert record.buyer_id in benign
+            assert record.pmt_id != benign[record.buyer_id]
+            assert record.label == 1
+
+    def test_guest_checkouts_have_no_buyer(self):
+        log = TransactionGenerator(tiny_config()).generate()
+        guests = [r for r in log if r.is_guest_checkout]
+        assert guests
+        assert all(r.buyer_id is None for r in guests)
+        assert all(r.scenario.startswith("guest") for r in guests)
+
+    def test_timestamps_strictly_increase(self):
+        log = TransactionGenerator(tiny_config()).generate()
+        stamps = [r.timestamp for r in log]
+        assert all(b > a for a, b in zip(stamps, stamps[1:]))
+
+    def test_txn_ids_unique(self):
+        log = TransactionGenerator(tiny_config()).generate()
+        ids = [r.txn_id for r in log]
+        assert len(set(ids)) == len(ids)
+
+
+class TestFeatures:
+    def test_feature_dim_respected(self):
+        log = TransactionGenerator(tiny_config(feature_dim=33)).generate()
+        assert all(len(r.features) == 33 for r in log)
+
+    def test_fraud_features_shifted(self):
+        log = TransactionGenerator(tiny_config(num_benign_buyers=100)).generate()
+        features = log.feature_matrix()
+        labels = log.labels()
+        risk_block = features[:, :16].mean(axis=1)
+        assert risk_block[labels == 1].mean() > risk_block[labels == 0].mean()
+
+    def test_feature_matrix_shape(self):
+        log = TransactionGenerator(tiny_config()).generate()
+        assert log.feature_matrix().shape == (len(log), 16)
+
+
+class TestDownsampling:
+    def test_keeps_all_fraud(self):
+        generator = TransactionGenerator(tiny_config())
+        log = generator.generate()
+        fraud_before = sum(r.label for r in log)
+        kept = generator.downsample_benign(log, keep_fraction=0.1)
+        fraud_after = sum(r.label for r in kept)
+        assert fraud_after == fraud_before
+
+    def test_reduces_benign(self):
+        generator = TransactionGenerator(tiny_config())
+        log = generator.generate()
+        kept = generator.downsample_benign(log, keep_fraction=0.1)
+        benign_before = sum(1 for r in log if r.label == 0)
+        benign_after = sum(1 for r in kept if r.label == 0)
+        assert benign_after < benign_before
+
+    def test_raises_fraud_rate(self):
+        generator = TransactionGenerator(tiny_config())
+        log = generator.generate()
+        kept = generator.downsample_benign(log, keep_fraction=0.2)
+        assert kept.fraud_rate() > log.fraud_rate()
+
+    def test_generate_log_wrapper(self):
+        log = generate_log(tiny_config(), downsample=True)
+        assert len(log) > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_log(self):
+        a = TransactionGenerator(tiny_config()).generate()
+        b = TransactionGenerator(tiny_config()).generate()
+        assert [r.txn_id for r in a] == [r.txn_id for r in b]
+        assert [r.label for r in a] == [r.label for r in b]
+        np.testing.assert_allclose(a.feature_matrix(), b.feature_matrix())
+
+    def test_different_seed_differs(self):
+        a = TransactionGenerator(tiny_config(seed=1)).generate()
+        b = TransactionGenerator(tiny_config(seed=2)).generate()
+        assert not np.allclose(
+            a.feature_matrix()[: min(len(a), len(b))],
+            b.feature_matrix()[: min(len(a), len(b))],
+        )
+
+
+class TestLogContainer:
+    def test_empty_log(self):
+        from repro.data import TransactionLog
+
+        log = TransactionLog()
+        assert len(log) == 0
+        assert log.fraud_rate() == 0.0
+        assert log.feature_matrix().size == 0
+
+
+class TestApartmentBuildings:
+    def test_apartment_txns_all_benign(self):
+        log = TransactionGenerator(tiny_config(num_apartment_buildings=2)).generate()
+        apartments = [r for r in log if r.scenario == "apartment"]
+        assert apartments
+        assert all(r.label == 0 for r in apartments)
+
+    def test_apartment_shares_one_address_many_buyers(self):
+        log = TransactionGenerator(tiny_config(num_apartment_buildings=1)).generate()
+        apartments = [r for r in log if r.scenario == "apartment"]
+        addresses = {r.addr_id for r in apartments}
+        buyers = {r.buyer_id for r in apartments}
+        assert len(addresses) == 1
+        assert len(buyers) >= 3
+
+    def test_apartment_structurally_mimics_warehouse(self):
+        """Both scenarios produce a high-degree shared address; only the
+        labels (and entity semantics) differ."""
+        log = TransactionGenerator(
+            tiny_config(num_apartment_buildings=1, num_warehouse_rings=1)
+        ).generate()
+        apartment_addr = {r.addr_id for r in log if r.scenario == "apartment"}
+        warehouse_addr = {r.addr_id for r in log if r.scenario == "warehouse_ring"}
+        apartment_degree = sum(1 for r in log if r.addr_id in apartment_addr)
+        warehouse_degree = sum(1 for r in log if r.addr_id in warehouse_addr)
+        assert apartment_degree >= 3 and warehouse_degree >= 3

@@ -1,0 +1,111 @@
+"""Modified GNNExplainer (Appendix D)."""
+
+import numpy as np
+import pytest
+
+from repro.explain import ExplainerConfig, GNNExplainer
+from repro.graph import select_communities
+
+
+@pytest.fixture(scope="module")
+def community(tiny_graph, tiny_splits):
+    _, test = tiny_splits
+    return select_communities(tiny_graph, test, count=1, seed=3)[0]
+
+
+@pytest.fixture(scope="module")
+def explanation(trained_detector, community):
+    explainer = GNNExplainer(trained_detector, ExplainerConfig(epochs=30, seed=0))
+    return explainer.explain(community.graph, community.seed_local)
+
+
+class TestOutputs:
+    def test_edge_mask_shape_and_range(self, explanation, community):
+        mask = explanation.edge_mask
+        assert mask.shape == (community.graph.num_edges,)
+        assert np.all((mask > 0) & (mask < 1))
+
+    def test_node_feature_mask_covers_all_nodes(self, explanation, community):
+        mask = explanation.node_feature_mask
+        assert mask.shape == (
+            community.graph.num_nodes,
+            community.graph.feature_dim,
+        )
+        assert np.all((mask > 0) & (mask < 1))
+
+    def test_loss_decreases(self, explanation):
+        history = explanation.loss_history
+        assert history[-1] < history[0]
+
+    def test_predicted_label_valid(self, explanation):
+        assert explanation.predicted_label in (0, 1)
+
+    def test_top_features(self, explanation):
+        top = explanation.top_features(explanation.node_index, k=3)
+        assert len(top) == 3
+        weights = explanation.node_feature_mask[explanation.node_index]
+        assert weights[top[0]] >= weights[top[1]] >= weights[top[2]]
+
+
+class TestUndirectedWeights:
+    def test_max_over_directions(self, explanation, community):
+        """Footnote 4: undirected weight = max of the two directions."""
+        graph = community.graph
+        weights = explanation.undirected_edge_weights(graph)
+        for edge_id, (src, dst) in enumerate(zip(graph.edge_src, graph.edge_dst)):
+            pair = (min(int(src), int(dst)), max(int(src), int(dst)))
+            assert weights[pair] >= explanation.edge_mask[edge_id] - 1e-12
+
+    def test_covers_every_undirected_pair(self, explanation, community):
+        weights = explanation.undirected_edge_weights(community.graph)
+        assert set(weights) == set(community.undirected_edges())
+
+
+class TestTraining:
+    def test_detector_frozen(self, trained_detector, community):
+        before = {k: v.copy() for k, v in trained_detector.state_dict().items()}
+        explainer = GNNExplainer(trained_detector, ExplainerConfig(epochs=5))
+        explainer.explain(community.graph, community.seed_local)
+        after = trained_detector.state_dict()
+        for key in before:
+            np.testing.assert_allclose(before[key], after[key])
+
+    def test_detector_mode_restored(self, trained_detector, community):
+        trained_detector.train()
+        explainer = GNNExplainer(trained_detector, ExplainerConfig(epochs=2))
+        explainer.explain(community.graph, community.seed_local)
+        assert trained_detector.training
+        trained_detector.eval()
+
+    def test_deterministic_given_seed(self, trained_detector, community):
+        config = ExplainerConfig(epochs=5, seed=42)
+        a = GNNExplainer(trained_detector, config).explain(
+            community.graph, community.seed_local
+        )
+        b = GNNExplainer(trained_detector, config).explain(
+            community.graph, community.seed_local
+        )
+        np.testing.assert_allclose(a.edge_mask, b.edge_mask)
+
+    def test_use_true_label(self, trained_detector, community):
+        config = ExplainerConfig(epochs=3, use_true_label=True)
+        explanation = GNNExplainer(trained_detector, config).explain(
+            community.graph, community.seed_local
+        )
+        assert explanation.predicted_label == community.label
+
+    def test_true_label_on_unlabeled_node_rejected(self, trained_detector, community):
+        entity = int(np.flatnonzero(community.graph.labels < 0)[0])
+        config = ExplainerConfig(epochs=2, use_true_label=True)
+        with pytest.raises(ValueError):
+            GNNExplainer(trained_detector, config).explain(community.graph, entity)
+
+    def test_edge_size_penalty_shrinks_masks(self, trained_detector, community):
+        """A heavier edge-size penalty yields smaller average masks."""
+        light = GNNExplainer(
+            trained_detector, ExplainerConfig(epochs=25, beta_edge_size=0.0, seed=1)
+        ).explain(community.graph, community.seed_local)
+        heavy = GNNExplainer(
+            trained_detector, ExplainerConfig(epochs=25, beta_edge_size=1.0, seed=1)
+        ).explain(community.graph, community.seed_local)
+        assert heavy.edge_mask.mean() < light.edge_mask.mean()

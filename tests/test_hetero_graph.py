@@ -1,0 +1,163 @@
+"""HeteroGraph structure: invariants, adjacency, subgraphs."""
+
+import numpy as np
+import pytest
+
+from repro.graph import EDGE_TYPES, NODE_TYPE_IDS, NODE_TYPES, HeteroGraph, edge_type_between
+
+
+def small_graph() -> HeteroGraph:
+    """txn(0) - pmt(1), txn(0) - buyer(2), txn(3) - pmt(1)."""
+    node_types = [NODE_TYPE_IDS["txn"], NODE_TYPE_IDS["pmt"], NODE_TYPE_IDS["buyer"], NODE_TYPE_IDS["txn"]]
+    links = [(0, 1), (0, 2), (3, 1)]
+    features = np.random.default_rng(0).normal(size=(4, 5))
+    features[1] = features[2] = 0
+    return HeteroGraph.from_links(node_types, links, features, labels=[1, -1, -1, 0])
+
+
+class TestConstruction:
+    def test_from_links_symmetric(self):
+        graph = small_graph()
+        assert graph.num_edges == 6  # both directions per link
+        # Every edge has its reverse present.
+        pairs = set(zip(graph.edge_src.tolist(), graph.edge_dst.tolist()))
+        assert all((d, s) in pairs for s, d in pairs)
+
+    def test_edge_types_match_endpoint_types(self):
+        graph = small_graph()
+        for src, dst, etype in zip(graph.edge_src, graph.edge_dst, graph.edge_type):
+            src_name = NODE_TYPES[graph.node_type[src]]
+            dst_name = NODE_TYPES[graph.node_type[dst]]
+            assert EDGE_TYPES[etype] == f"{src_name}->{dst_name}"
+
+    def test_edge_type_between_unknown_pair(self):
+        with pytest.raises(KeyError):
+            edge_type_between("pmt", "email")
+
+
+class TestValidation:
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            HeteroGraph(
+                node_type=[0],
+                edge_src=[0],
+                edge_dst=[5],
+                edge_type=[0],
+                txn_features=np.zeros((1, 2)),
+                labels=[0],
+            )
+
+    def test_label_on_entity_rejected(self):
+        with pytest.raises(ValueError):
+            HeteroGraph(
+                node_type=[1],
+                edge_src=[],
+                edge_dst=[],
+                edge_type=[],
+                txn_features=np.zeros((1, 2)),
+                labels=[1],
+            )
+
+    def test_feature_shape_rejected(self):
+        with pytest.raises(ValueError):
+            HeteroGraph(
+                node_type=[0],
+                edge_src=[],
+                edge_dst=[],
+                edge_type=[],
+                txn_features=np.zeros((2, 2)),
+                labels=[0],
+            )
+
+    def test_mismatched_edge_arrays(self):
+        with pytest.raises(ValueError):
+            HeteroGraph(
+                node_type=[0, 0],
+                edge_src=[0],
+                edge_dst=[1, 0],
+                edge_type=[0],
+                txn_features=np.zeros((2, 2)),
+                labels=[0, 0],
+            )
+
+
+class TestStatistics:
+    def test_node_type_counts(self):
+        counts = small_graph().node_type_counts()
+        assert counts["txn"] == 2 and counts["pmt"] == 1 and counts["buyer"] == 1
+
+    def test_fraud_rate(self):
+        assert small_graph().fraud_rate() == pytest.approx(0.5)
+
+    def test_fraud_rate_no_labels(self):
+        graph = HeteroGraph(
+            node_type=[1],
+            edge_src=[],
+            edge_dst=[],
+            edge_type=[],
+            txn_features=np.zeros((1, 2)),
+            labels=[-1],
+        )
+        assert graph.fraud_rate() == 0.0
+
+    def test_edges_per_node_counts_undirected(self):
+        graph = small_graph()
+        assert graph.edges_per_node() == pytest.approx(3 / 4)
+
+    def test_labeled_and_txn_nodes(self):
+        graph = small_graph()
+        np.testing.assert_array_equal(graph.txn_nodes, [0, 3])
+        np.testing.assert_array_equal(graph.labeled_nodes, [0, 3])
+
+
+class TestAdjacency:
+    def test_in_neighbors(self):
+        graph = small_graph()
+        assert set(graph.in_neighbors(1).tolist()) == {0, 3}
+        assert set(graph.in_neighbors(0).tolist()) == {1, 2}
+
+    def test_in_edges_point_at_node(self):
+        graph = small_graph()
+        for node in range(graph.num_nodes):
+            for edge_id in graph.in_edges(node):
+                assert graph.edge_dst[edge_id] == node
+
+    def test_degree_matches_neighbors(self):
+        graph = small_graph()
+        degree = graph.degree()
+        for node in range(graph.num_nodes):
+            assert degree[node] == len(graph.in_neighbors(node))
+
+    def test_csr_cached(self):
+        graph = small_graph()
+        assert graph.csr() is graph.csr()
+
+
+class TestSubgraph:
+    def test_induced_edges_only(self):
+        graph = small_graph()
+        sub, ids = graph.subgraph([0, 1])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 2  # only txn0<->pmt1 survives
+        np.testing.assert_array_equal(ids, [0, 1])
+
+    def test_preserves_types_features_labels(self):
+        graph = small_graph()
+        sub, ids = graph.subgraph([3, 1])
+        np.testing.assert_array_equal(sub.node_type, graph.node_type[[3, 1]])
+        np.testing.assert_allclose(sub.txn_features, graph.txn_features[[3, 1]])
+        np.testing.assert_array_equal(sub.labels, graph.labels[[3, 1]])
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            small_graph().subgraph([0, 0])
+
+    def test_connected_component(self):
+        graph = small_graph()
+        component = graph.connected_component(0)
+        assert set(component.tolist()) == {0, 1, 2, 3}
+
+    def test_to_networkx(self):
+        nx_graph = small_graph().to_networkx()
+        assert nx_graph.number_of_nodes() == 4
+        assert nx_graph.number_of_edges() == 3

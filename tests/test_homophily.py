@@ -1,0 +1,54 @@
+"""Homophily tests (paper footnote 1)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    homophily_report,
+    homophily_score,
+    render_homophily_report,
+)
+
+
+class TestHomophilyScore:
+    def test_scores_for_all_entity_types(self, tiny_graph):
+        report = homophily_report(tiny_graph)
+        assert set(report) == {"pmt", "email", "addr", "buyer"}
+        for score in report.values():
+            assert 0.0 <= score.same_label_rate <= 1.0
+            assert 0.0 <= score.baseline_rate <= 1.0
+
+    def test_pmt_is_homophilic_in_synthetic_data(self, tiny_graph):
+        """Stolen-card bursts make payment tokens fraud-homophilic:
+        same-label rate through pmt must beat the random baseline."""
+        score = homophily_score(tiny_graph, "pmt")
+        assert score.num_pairs > 0
+        assert score.lift >= 1.0
+
+    def test_fraud_adjacency_bounded(self, tiny_graph):
+        for entity_type in ("pmt", "addr"):
+            score = homophily_score(tiny_graph, entity_type)
+            assert 0.0 <= score.fraud_adjacency <= 1.0
+
+    def test_txn_rejected(self, tiny_graph):
+        with pytest.raises(KeyError):
+            homophily_score(tiny_graph, "txn")
+
+    def test_unknown_type_rejected(self, tiny_graph):
+        with pytest.raises(KeyError):
+            homophily_score(tiny_graph, "device")
+
+    def test_pair_sampling_cap(self, tiny_graph):
+        capped = homophily_score(tiny_graph, "addr", max_pairs_per_entity=1)
+        uncapped = homophily_score(tiny_graph, "addr", max_pairs_per_entity=10_000)
+        assert capped.num_pairs <= uncapped.num_pairs
+
+    def test_deterministic(self, tiny_graph):
+        a = homophily_score(tiny_graph, "buyer", seed=3)
+        b = homophily_score(tiny_graph, "buyer", seed=3)
+        assert a.same_label_rate == b.same_label_rate
+
+    def test_render(self, tiny_graph):
+        text = render_homophily_report(homophily_report(tiny_graph))
+        assert "entity" in text and "lift" in text
+        assert "pmt" in text

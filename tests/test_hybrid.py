@@ -1,0 +1,157 @@
+"""Hybrid explainer: coefficient learning (Sec. 3.4.2 / Appendix F)."""
+
+import numpy as np
+import pytest
+
+from repro.explain import (
+    CommunityWeights,
+    HybridExplainer,
+    fit_grid,
+    fit_polynomial_degree,
+    fit_ridge,
+    ridge_regression,
+)
+
+
+def make_community(rng, n_edges=30, centrality_quality=0.5, explainer_quality=0.5):
+    """Synthetic CommunityWeights: human scores plus two noisy views.
+
+    ``*_quality`` in [0, 1] controls how much each view correlates with
+    the human scores.
+    """
+    human_scores = rng.integers(0, 3, n_edges).astype(float)
+    noise_c = rng.random(n_edges)
+    noise_e = rng.random(n_edges)
+    centrality = centrality_quality * human_scores + (1 - centrality_quality) * noise_c * 2
+    explainer = explainer_quality * human_scores + (1 - explainer_quality) * noise_e * 2
+    edges = [(i, i + 1) for i in range(n_edges)]
+    return CommunityWeights(
+        human={e: float(s) for e, s in zip(edges, human_scores)},
+        centrality={e: float(s) for e, s in zip(edges, centrality)},
+        explainer={e: float(s) for e, s in zip(edges, explainer)},
+    )
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestCombination:
+    def test_combined_weights_linear(self, rng):
+        community = make_community(rng)
+        hybrid = community.combined(0.3, 0.7)
+        from repro.explain import normalize_weights
+
+        centrality = normalize_weights(community.centrality)
+        explainer = normalize_weights(community.explainer)
+        for edge, value in hybrid.items():
+            assert value == pytest.approx(
+                0.3 * centrality.get(edge, 0) + 0.7 * explainer.get(edge, 0)
+            )
+
+    def test_pure_extremes(self, rng):
+        community = make_community(rng)
+        pure_centrality = HybridExplainer(1.0, 0.0, "x").weights(community)
+        from repro.explain import normalize_weights
+
+        assert pure_centrality == pytest.approx(normalize_weights(community.centrality))
+
+
+class TestGridFit:
+    def test_prefers_informative_source_centrality(self, rng):
+        communities = [
+            make_community(rng, centrality_quality=0.95, explainer_quality=0.05)
+            for _ in range(4)
+        ]
+        fitted = fit_grid(communities, k=5, grid_steps=21, draws=20)
+        assert fitted.coeff_centrality > 0.5
+
+    def test_prefers_informative_source_explainer(self, rng):
+        communities = [
+            make_community(rng, centrality_quality=0.05, explainer_quality=0.95)
+            for _ in range(4)
+        ]
+        fitted = fit_grid(communities, k=5, grid_steps=21, draws=20)
+        assert fitted.coeff_explainer > 0.5
+
+    def test_coefficients_sum_to_one(self, rng):
+        fitted = fit_grid([make_community(rng)], k=5, grid_steps=11, draws=10)
+        assert fitted.coeff_centrality + fitted.coeff_explainer == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_grid([], k=5)
+
+
+class TestRidge:
+    def test_closed_form_matches_lstsq_at_zero_alpha(self, rng):
+        features = rng.normal(size=(50, 2))
+        targets = features @ np.array([1.5, -0.5]) + 0.2
+        coefficients = ridge_regression(features, targets, alpha=0.0)
+        np.testing.assert_allclose(coefficients[:2], [1.5, -0.5], atol=1e-8)
+        assert coefficients[2] == pytest.approx(0.2, abs=1e-8)
+
+    def test_regularisation_shrinks(self, rng):
+        features = rng.normal(size=(50, 2))
+        targets = features @ np.array([2.0, 2.0])
+        small = ridge_regression(features, targets, alpha=0.01)
+        large = ridge_regression(features, targets, alpha=100.0)
+        assert np.abs(large[:2]).sum() < np.abs(small[:2]).sum()
+
+    def test_fit_ridge_recovers_informative_source(self, rng):
+        communities = [
+            make_community(rng, centrality_quality=0.9, explainer_quality=0.1)
+            for _ in range(4)
+        ]
+        fitted = fit_ridge(communities, k=5, draws=10)
+        assert fitted.coeff_centrality > fitted.coeff_explainer
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_ridge([])
+
+
+class TestPolynomialDegree:
+    def test_linear_relationship_finds_degree_one(self):
+        # Fresh rng (not the shared module fixture) so the check does
+        # not depend on test execution order; near-noise-free linear
+        # data makes degree 1 the unambiguous optimum.
+        local_rng = np.random.default_rng(1234)
+        communities = [
+            make_community(
+                local_rng, n_edges=60, centrality_quality=0.97, explainer_quality=0.97
+            )
+            for _ in range(5)
+        ]
+        degree, error = fit_polynomial_degree(communities)
+        assert degree == 1
+        assert np.isfinite(error)
+
+    def test_needs_two_communities(self, rng):
+        with pytest.raises(ValueError):
+            fit_polynomial_degree([make_community(rng)])
+
+
+class TestHybridBeatsPure:
+    def test_hybrid_at_least_as_good_on_average(self, rng):
+        """The trade-off claim: on communities where centrality and
+        explainer alternate in quality, the fitted hybrid matches or
+        beats the weaker pure strategy."""
+        communities = []
+        for i in range(8):
+            if i % 2 == 0:
+                communities.append(
+                    make_community(rng, centrality_quality=0.9, explainer_quality=0.2)
+                )
+            else:
+                communities.append(
+                    make_community(rng, centrality_quality=0.2, explainer_quality=0.9)
+                )
+        train, test = communities[:4], communities[4:]
+        hybrid = fit_grid(train, k=5, grid_steps=21, draws=20)
+        pure_c = HybridExplainer(1.0, 0.0, "c")
+        pure_e = HybridExplainer(0.0, 1.0, "e")
+        h_rate = hybrid.hit_rate(test, 5, draws=20)
+        worst_pure = min(pure_c.hit_rate(test, 5, draws=20), pure_e.hit_rate(test, 5, draws=20))
+        assert h_rate >= worst_pure - 0.05

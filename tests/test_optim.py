@@ -1,0 +1,123 @@
+"""Optimisers: convergence on convex problems, clipping, schedules."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Parameter, Tensor
+
+
+def quadratic_loss(param: Parameter) -> Tensor:
+    target = Tensor(np.array([3.0, -2.0]))
+    diff = param - target
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(2))
+        optimizer = nn.SGD([param], lr=0.1)
+        for _ in range(100):
+            optimizer.zero_grad()
+            quadratic_loss(param).backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, [3, -2], atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            param = Parameter(np.zeros(2))
+            optimizer = nn.SGD([param], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                optimizer.zero_grad()
+                quadratic_loss(param).backward()
+                optimizer.step()
+            return float(quadratic_loss(param).item())
+
+        assert run(0.9) < run(0.0)
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_skips_none_grads(self):
+        param = Parameter(np.ones(2))
+        optimizer = nn.SGD([param], lr=0.1)
+        optimizer.step()  # no backward happened
+        np.testing.assert_allclose(param.data, 1.0)
+
+
+class TestAdamFamily:
+    @pytest.mark.parametrize("cls", [nn.Adam, nn.AdamW])
+    def test_converges(self, cls):
+        param = Parameter(np.zeros(2))
+        optimizer = cls([param], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            quadratic_loss(param).backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, [3, -2], atol=5e-2)
+
+    def test_adamw_decay_shrinks_weights(self):
+        param = Parameter(np.full(2, 10.0))
+        optimizer = nn.AdamW([param], lr=0.0, weight_decay=0.1)
+        # lr=0 disables the gradient update but AdamW's decoupled decay
+        # still multiplies weights by (1 - lr*wd) = 1 here; use lr>0.
+        optimizer = nn.AdamW([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.zeros(2)
+        optimizer.step()
+        assert np.all(param.data < 10.0)
+
+    def test_adam_weight_decay_couples_into_grad(self):
+        param = Parameter(np.full(2, 1.0))
+        optimizer = nn.Adam([param], lr=0.1, weight_decay=1.0)
+        param.grad = np.zeros(2)
+        optimizer.step()
+        assert np.all(param.data < 1.0)
+
+    def test_bias_correction_first_step_magnitude(self):
+        param = Parameter(np.zeros(1))
+        optimizer = nn.Adam([param], lr=0.1)
+        param.grad = np.array([1.0])
+        optimizer.step()
+        # First Adam step is ≈ -lr regardless of gradient scale.
+        np.testing.assert_allclose(param.data, [-0.1], atol=1e-6)
+
+
+class TestClipGradNorm:
+    def test_clips_to_max(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.full(4, 10.0)
+        norm = nn.clip_grad_norm([param], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        np.testing.assert_allclose(np.linalg.norm(param.grad), 1.0, atol=1e-9)
+
+    def test_small_grads_untouched(self):
+        param = Parameter(np.zeros(2))
+        param.grad = np.array([0.1, 0.1])
+        nn.clip_grad_norm([param], max_norm=1.0)
+        np.testing.assert_allclose(param.grad, [0.1, 0.1])
+
+    def test_no_grads_returns_zero(self):
+        param = Parameter(np.zeros(2))
+        assert nn.clip_grad_norm([param], 1.0) == 0.0
+
+
+class TestCosineDecay:
+    def test_decays_to_min(self):
+        param = Parameter(np.zeros(1))
+        optimizer = nn.SGD([param], lr=1.0)
+        schedule = nn.CosineDecay(optimizer, total_steps=10, min_lr=0.1)
+        for _ in range(10):
+            schedule.step()
+        np.testing.assert_allclose(optimizer.lr, 0.1, atol=1e-9)
+
+    def test_monotone_decrease(self):
+        optimizer = nn.SGD([Parameter(np.zeros(1))], lr=1.0)
+        schedule = nn.CosineDecay(optimizer, total_steps=5)
+        rates = [schedule.step() for _ in range(5)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_invalid_steps(self):
+        optimizer = nn.SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            nn.CosineDecay(optimizer, total_steps=0)

@@ -1,0 +1,80 @@
+"""PIC partitioning and worker grouping (Sec. 3.3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import group_partitions, pic_partition, power_iteration_embedding
+
+
+class TestPowerIteration:
+    def test_embedding_shape_and_finite(self, tiny_graph):
+        embedding = power_iteration_embedding(tiny_graph)
+        assert embedding.shape == (tiny_graph.num_nodes,)
+        assert np.all(np.isfinite(embedding))
+
+    def test_embedding_l1_normalised(self, tiny_graph):
+        embedding = power_iteration_embedding(tiny_graph)
+        assert np.abs(embedding).sum() == pytest.approx(1.0, rel=1e-6)
+
+    def test_deterministic_given_seed(self, tiny_graph):
+        a = power_iteration_embedding(tiny_graph, seed=3)
+        b = power_iteration_embedding(tiny_graph, seed=3)
+        np.testing.assert_allclose(a, b)
+
+
+class TestPicPartition:
+    def test_partition_count(self, tiny_graph):
+        ids = pic_partition(tiny_graph, 8)
+        assert ids.shape == (tiny_graph.num_nodes,)
+        assert len(np.unique(ids)) <= 8
+
+    def test_more_partitions_than_nodes(self, tiny_graph):
+        n = tiny_graph.num_nodes
+        ids = pic_partition(tiny_graph, n + 10)
+        assert len(np.unique(ids)) == n
+
+    def test_single_partition(self, tiny_graph):
+        ids = pic_partition(tiny_graph, 1)
+        assert np.all(ids == ids[0])
+
+    def test_invalid_count(self, tiny_graph):
+        with pytest.raises(ValueError):
+            pic_partition(tiny_graph, 0)
+
+    def test_partitions_group_connected_nodes(self, tiny_graph):
+        """PIC should mostly keep an edge's endpoints together — the
+        point of similarity-based partitioning."""
+        ids = pic_partition(tiny_graph, 8)
+        same = np.mean(ids[tiny_graph.edge_src] == ids[tiny_graph.edge_dst])
+        assert same > 0.5
+
+
+class TestGrouping:
+    def test_groups_cover_all_nodes(self, tiny_graph):
+        ids = pic_partition(tiny_graph, 16)
+        groups = group_partitions(ids, 4)
+        combined = np.concatenate(groups)
+        assert len(combined) == tiny_graph.num_nodes
+        assert len(np.unique(combined)) == tiny_graph.num_nodes
+
+    def test_groups_roughly_balanced(self, tiny_graph):
+        ids = pic_partition(tiny_graph, 32)
+        groups = group_partitions(ids, 4)
+        sizes = np.array([len(g) for g in groups])
+        assert sizes.min() > 0
+        assert sizes.max() <= 2.5 * max(sizes.mean(), 1)
+
+    def test_single_group_is_everything(self, tiny_graph):
+        ids = pic_partition(tiny_graph, 8)
+        groups = group_partitions(ids, 1)
+        assert len(groups) == 1
+        assert len(groups[0]) == tiny_graph.num_nodes
+
+    def test_invalid_group_count(self):
+        with pytest.raises(ValueError):
+            group_partitions(np.zeros(4, dtype=int), 0)
+
+    def test_no_empty_groups_when_enough_partitions(self, tiny_graph):
+        ids = pic_partition(tiny_graph, 16)
+        groups = group_partitions(ids, 4)
+        assert all(len(g) > 0 for g in groups)

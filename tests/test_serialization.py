@@ -1,0 +1,54 @@
+"""Model persistence (.npz state archives)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import XFraudDetectorPlus
+from repro.nn.serialization import load_state, read_manifest, save_state
+
+
+class TestSaveLoad:
+    def test_roundtrip_linear(self, tmp_path):
+        model = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        path = save_state(model, str(tmp_path / "linear"))
+        other = nn.Linear(4, 3, rng=np.random.default_rng(1))
+        load_state(other, path)
+        np.testing.assert_allclose(model.weight.data, other.weight.data)
+        np.testing.assert_allclose(model.bias.data, other.bias.data)
+
+    def test_roundtrip_detector(self, tmp_path, detector_config, trained_detector, tiny_graph, tiny_splits):
+        _, test = tiny_splits
+        path = save_state(trained_detector, str(tmp_path / "detector.npz"))
+        clone = XFraudDetectorPlus(detector_config)
+        load_state(clone, path)
+        np.testing.assert_allclose(
+            trained_detector.predict_proba(tiny_graph, test[:10]),
+            clone.predict_proba(tiny_graph, test[:10]),
+        )
+
+    def test_npz_suffix_appended(self, tmp_path):
+        model = nn.Linear(2, 2)
+        path = save_state(model, str(tmp_path / "model"))
+        assert path.endswith(".npz")
+
+    def test_manifest(self, tmp_path):
+        model = nn.Linear(2, 2)
+        path = save_state(model, str(tmp_path / "m"))
+        manifest = read_manifest(path)
+        assert manifest["format"] == "repro-state-v1"
+        assert manifest["num_parameters"] == model.num_parameters()
+        assert "weight" in manifest["keys"]
+
+    def test_architecture_mismatch_rejected(self, tmp_path):
+        path = save_state(nn.Linear(2, 2), str(tmp_path / "m"))
+        with pytest.raises(ValueError):
+            load_state(nn.Linear(2, 3), path)
+
+    def test_wrong_archive_rejected(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_state(nn.Linear(2, 2), path)
+        with pytest.raises(ValueError):
+            read_manifest(path)

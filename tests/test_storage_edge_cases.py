@@ -1,0 +1,70 @@
+"""Additional storage edge cases: empty stores, iteration, reopen."""
+
+import numpy as np
+import pytest
+
+from repro.storage import GraphStore, InMemoryKVStore, MmapKVStore
+
+
+class TestEmptyStores:
+    def test_empty_mmap_store_finalize(self, tmp_path):
+        store = MmapKVStore(str(tmp_path / "empty.bin"))
+        store.finalize()
+        assert store.keys() == []
+        with pytest.raises(KeyError):
+            store.get("missing")
+        store.close()
+
+    def test_double_finalize_idempotent(self, tmp_path):
+        store = MmapKVStore(str(tmp_path / "kv.bin"))
+        store.put("a", b"1")
+        store.finalize()
+        store.finalize()
+        assert store.get("a") == b"1"
+        store.close()
+
+    def test_close_before_finalize(self, tmp_path):
+        store = MmapKVStore(str(tmp_path / "kv.bin"))
+        store.put("a", b"1")
+        store.close()  # must not raise
+
+
+class TestIteration:
+    def test_items_yields_pairs(self, tmp_path):
+        store = MmapKVStore(str(tmp_path / "kv.bin"))
+        payload = {f"k{i}": bytes([i, i]) for i in range(5)}
+        for key, value in payload.items():
+            store.put(key, value)
+        store.finalize()
+        assert dict(store.items()) == payload
+        store.close()
+
+    def test_contains_before_finalize(self, tmp_path):
+        store = MmapKVStore(str(tmp_path / "kv.bin"))
+        store.put("a", b"1")
+        assert "a" in store and "b" not in store
+        store.close()
+
+
+class TestGraphStoreEdgeCases:
+    def test_zero_feature_graph(self, tmp_path):
+        """Graphs whose entity features are all-zero roundtrip exactly."""
+        from repro.graph.hetero import NODE_TYPE_IDS, HeteroGraph
+
+        graph = HeteroGraph(
+            node_type=[NODE_TYPE_IDS["txn"], NODE_TYPE_IDS["pmt"]],
+            edge_src=[0, 1],
+            edge_dst=[1, 0],
+            edge_type=[0, 1],
+            txn_features=np.array([[1.5, -2.5], [0.0, 0.0]]),
+            labels=[1, -1],
+        )
+        store = GraphStore(InMemoryKVStore())
+        store.save(graph)
+        loaded = store.load()
+        np.testing.assert_allclose(loaded.txn_features, graph.txn_features)
+        np.testing.assert_array_equal(loaded.labels, graph.labels)
+
+    def test_rejects_non_bytes_values(self):
+        with pytest.raises(TypeError):
+            InMemoryKVStore().put("k", 123)

@@ -1,0 +1,45 @@
+"""Heterogeneous dataset survey (Appendix A / Table 5 / Figure 1)."""
+
+import numpy as np
+
+from repro.data import HETERO_DATASET_SURVEY, survey_table
+from repro.data.survey import SurveyEntry, landscape_points
+
+
+class TestSurveyData:
+    def test_entries_span_years(self):
+        years = {entry.year for entry in HETERO_DATASET_SURVEY}
+        assert years == {2015, 2017, 2018, 2019, 2020, 2021}
+
+    def test_xfraud_datasets_included(self):
+        xfraud = [e for e in HETERO_DATASET_SURVEY if e.paper == "xFraud"]
+        assert {e.dataset for e in xfraud} == {
+            "eBay-small",
+            "eBay-large",
+            "eBay-xlarge",
+        }
+
+    def test_ebay_xlarge_is_largest_node_count(self):
+        largest = max(HETERO_DATASET_SURVEY, key=lambda e: e.num_nodes)
+        assert largest.dataset == "eBay-xlarge"
+
+    def test_edges_per_node_computed(self):
+        entry = next(e for e in HETERO_DATASET_SURVEY if e.dataset == "eBay-small")
+        assert entry.edges_per_node == 612_904 / 288_853
+
+    def test_table_sorted(self):
+        rows = survey_table()
+        years = [row["year"] for row in rows]
+        assert years == sorted(years)
+
+    def test_table_extra_entries(self):
+        extra = [SurveyEntry(2024, "repro", "sim", 1000, 2000)]
+        rows = survey_table(extra)
+        assert any(row["paper"] == "repro" for row in rows)
+
+    def test_landscape_points_log_scale(self):
+        points = landscape_points()
+        assert points.shape[1] == 2
+        assert np.all(np.isfinite(points))
+        # eBay-xlarge: log10(1.1e9) ≈ 9.04 must be the max x.
+        assert points[:, 0].max() > 9.0

@@ -1,0 +1,85 @@
+"""Single-machine trainer: learning, early stopping, evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.models import DetectorConfig, GEMModel, XFraudDetectorPlus
+from repro.train import TrainConfig, Trainer, measure_inference_time, roc_auc
+
+
+class TestTraining:
+    def test_loss_decreases(self, tiny_graph, tiny_splits, detector_config):
+        train, _ = tiny_splits
+        model = XFraudDetectorPlus(detector_config)
+        trainer = Trainer(model, TrainConfig(epochs=6, learning_rate=5e-3, seed=0))
+        result = trainer.fit(tiny_graph, train)
+        losses = [r.loss for r in result.history]
+        assert losses[-1] < losses[0]
+
+    def test_model_beats_chance(self, trained_detector, tiny_graph, tiny_splits):
+        _, test = tiny_splits
+        scores = trained_detector.predict_proba(tiny_graph, test)
+        auc = roc_auc(tiny_graph.labels[test], scores)
+        assert auc > 0.7
+
+    def test_evaluate_returns_metric_dict(self, trained_detector, tiny_graph, tiny_splits):
+        _, test = tiny_splits
+        trainer = Trainer(trained_detector, TrainConfig(epochs=0))
+        metrics = trainer.evaluate(tiny_graph, test)
+        assert set(metrics) == {"accuracy", "ap", "auc"}
+        assert 0 <= metrics["accuracy"] <= 1
+        assert 0 <= metrics["ap"] <= 1
+
+    def test_history_records_timing(self, tiny_graph, tiny_splits, detector_config):
+        train, _ = tiny_splits
+        model = GEMModel(detector_config)
+        trainer = Trainer(model, TrainConfig(epochs=2))
+        result = trainer.fit(tiny_graph, train)
+        assert len(result.history) == 2
+        assert all(r.seconds > 0 for r in result.history)
+        assert result.seconds_per_epoch > 0
+
+    def test_eval_nodes_tracked(self, tiny_graph, tiny_splits, detector_config):
+        train, test = tiny_splits
+        model = GEMModel(detector_config)
+        trainer = Trainer(model, TrainConfig(epochs=3))
+        result = trainer.fit(tiny_graph, train, eval_nodes=test)
+        assert all(r.eval_auc is not None for r in result.history)
+        assert result.best_auc > 0
+
+    def test_early_stopping_restores_best(self, tiny_graph, tiny_splits, detector_config):
+        train, test = tiny_splits
+        model = GEMModel(detector_config)
+        trainer = Trainer(model, TrainConfig(epochs=8, patience=1, learning_rate=0.05))
+        result = trainer.fit(tiny_graph, train, eval_nodes=test)
+        # The restored model must reproduce the best recorded AUC.
+        scores = model.predict_proba(tiny_graph, test)
+        final_auc = roc_auc(tiny_graph.labels[test], scores)
+        assert final_auc == pytest.approx(result.best_auc, abs=1e-9)
+
+    def test_shuffle_off_is_deterministic(self, tiny_graph, tiny_splits, detector_config):
+        train, _ = tiny_splits
+
+        def run():
+            model = GEMModel(detector_config)
+            trainer = Trainer(model, TrainConfig(epochs=2, shuffle=False, seed=1))
+            trainer.fit(tiny_graph, train)
+            return model.predict_proba(tiny_graph, train[:5])
+
+        np.testing.assert_allclose(run(), run())
+
+
+class TestInferenceTiming:
+    def test_full_graph_timing(self, trained_detector, tiny_graph, tiny_splits):
+        _, test = tiny_splits
+        stats = measure_inference_time(trained_detector, tiny_graph, test, batch_size=64)
+        assert stats["batches"] == int(np.ceil(len(test) / 64))
+        assert stats["mean_s_per_batch"] > 0
+        assert stats["total_s"] >= stats["mean_s_per_batch"]
+
+    def test_sampled_timing_uses_sampler(self, trained_detector, tiny_graph, tiny_splits):
+        _, test = tiny_splits
+        stats = measure_inference_time(
+            trained_detector, tiny_graph, test[:32], batch_size=16, sampled=True
+        )
+        assert stats["batches"] == 2

@@ -1,0 +1,92 @@
+"""Community rendering and case-study analysis (Sec. 5.2, Table 13)."""
+
+import numpy as np
+import pytest
+
+from repro.explain import (
+    classify_communities,
+    confusion_by_complexity,
+    render_dot,
+    render_text,
+)
+from repro.explain.visualize import CaseStudy
+from repro.graph import select_communities
+
+
+@pytest.fixture(scope="module")
+def communities(tiny_graph, tiny_splits):
+    _, test = tiny_splits
+    return select_communities(tiny_graph, test, count=6, seed=3)
+
+
+class TestRenderText:
+    def test_contains_summary(self, communities):
+        text = render_text(communities[0])
+        assert "community(" in text
+        assert f"label={communities[0].label}" in text
+
+    def test_edge_weights_listed(self, communities):
+        community = communities[0]
+        weights = {e: float(i) for i, e in enumerate(community.undirected_edges())}
+        text = render_text(community, weights, top_edges=3)
+        assert text.count("w=") == 3
+
+    def test_marks_seed(self, communities):
+        community = communities[0]
+        weights = {e: 1.0 for e in community.undirected_edges()}
+        text = render_text(community, weights, top_edges=100)
+        assert "*" in text
+
+
+class TestRenderDot:
+    def test_valid_dot_structure(self, communities):
+        dot = render_dot(communities[0])
+        assert dot.startswith("graph community {")
+        assert dot.endswith("}")
+
+    def test_seed_double_circle(self, communities):
+        dot = render_dot(communities[0])
+        assert "doublecircle" in dot
+
+    def test_penwidth_encodes_weight(self, communities):
+        community = communities[0]
+        edges = community.undirected_edges()
+        weights = {e: float(i) for i, e in enumerate(edges)}
+        dot = render_dot(community, weights)
+        assert "penwidth" in dot
+
+    def test_fraud_nodes_red(self, communities):
+        fraud_community = next((c for c in communities if c.label == 1), None)
+        if fraud_community is None:
+            pytest.skip("no fraud-seeded community in sample")
+        assert '"red"' in render_dot(fraud_community)
+
+
+class TestCaseStudies:
+    def test_conditions(self, communities):
+        scores = [1.0 if c.label == 1 else 0.0 for c in communities]
+        cases = classify_communities(communities, scores)
+        assert all(case.condition in ("TP", "TN") for case in cases)
+
+    def test_misclassification_conditions(self, communities):
+        scores = [0.0 if c.label == 1 else 1.0 for c in communities]
+        cases = classify_communities(communities, scores)
+        assert all(case.condition in ("FP", "FN") for case in cases)
+
+    def test_score_count_mismatch(self, communities):
+        with pytest.raises(ValueError):
+            classify_communities(communities, [0.5])
+
+    def test_confusion_by_complexity_totals(self, communities):
+        scores = np.linspace(0, 1, len(communities))
+        cases = classify_communities(communities, scores)
+        table = confusion_by_complexity(cases)
+        total = sum(sum(bucket.values()) for bucket in table.values())
+        assert total == len(communities)
+        assert set(table) == {"simple", "complex"}
+
+    def test_threshold_changes_classification(self, communities):
+        community = communities[0]
+        low = classify_communities([community], [0.4], threshold=0.3)[0]
+        high = classify_communities([community], [0.4], threshold=0.5)[0]
+        assert low.predicted == 1 and high.predicted == 0
