@@ -27,7 +27,7 @@ Quickstart::
     print(trainer.evaluate(data.graph, data.test_nodes))
 """
 
-from . import data, explain, graph, models, nn, rules, storage, train
+from . import data, explain, graph, models, nn, reliability, rules, storage, train
 from .data import (
     DatasetBundle,
     GeneratorConfig,
@@ -69,6 +69,12 @@ from .models import (
     XFraudDetectorHGT,
     XFraudDetectorPlus,
 )
+from .reliability import (
+    CheckpointManager,
+    FaultPlan,
+    RetryingKVStore,
+    RetryPolicy,
+)
 from .train import (
     DistributedTrainer,
     TrainConfig,
@@ -89,6 +95,11 @@ __all__ = [
     "models",
     "train",
     "explain",
+    "reliability",
+    "CheckpointManager",
+    "FaultPlan",
+    "RetryingKVStore",
+    "RetryPolicy",
     "DatasetBundle",
     "GeneratorConfig",
     "TransactionGenerator",

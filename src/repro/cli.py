@@ -25,6 +25,7 @@ from .explain import render_dot, render_text
 from .graph import extract_community
 from .models import DetectorConfig, GATModel, GEMModel, XFraudDetectorPlus
 from .nn.serialization import load_state, save_state
+from .reliability import CheckpointManager
 from .train import TrainConfig, Trainer
 
 MODEL_CHOICES = {
@@ -62,6 +63,18 @@ def _build_model(args, feature_dim: int):
     return MODEL_CHOICES[args.model](config)
 
 
+def _try_load_state(model, path: str) -> Optional[int]:
+    """Load saved weights; on a bad --load path print one line and
+    return exit code 2 instead of a raw traceback."""
+    try:
+        load_state(model, path)
+    except (FileNotFoundError, ValueError, KeyError) as error:
+        message = str(error) or error.__class__.__name__
+        print(f"error: cannot load model state: {message}", file=sys.stderr)
+        return 2
+    return None
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="xFraud reproduction command line"
@@ -78,6 +91,22 @@ def _parser() -> argparse.ArgumentParser:
     train.add_argument("--batch-size", type=int, default=2048)
     train.add_argument("--lr", type=float, default=5e-3)
     train.add_argument("--save", default=None, help="path to save model state (.npz)")
+    train.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="write a crash-safe checkpoint here after every epoch",
+    )
+    train.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the latest checkpoint in --checkpoint-dir",
+    )
+    train.add_argument(
+        "--keep-last",
+        type=int,
+        default=3,
+        help="checkpoints retained under --checkpoint-dir",
+    )
 
     evaluate = commands.add_parser("evaluate", help="evaluate a saved model")
     _add_dataset_args(evaluate)
@@ -116,13 +145,37 @@ def _cmd_datasets(args) -> int:
 
 
 def _cmd_train(args) -> int:
+    manager = None
+    resume_from = None
+    if args.checkpoint_dir:
+        manager = CheckpointManager(args.checkpoint_dir, keep_last=args.keep_last)
+        if args.resume:
+            resume_from = manager.latest()
+            if resume_from is None:
+                print(
+                    f"error: --resume given but no checkpoints in {args.checkpoint_dir}",
+                    file=sys.stderr,
+                )
+                return 2
+    elif args.resume:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+
     bundle = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
     model = _build_model(args, bundle.graph.feature_dim)
     trainer = Trainer(
         model,
         TrainConfig(epochs=args.epochs, batch_size=args.batch_size, learning_rate=args.lr),
     )
-    result = trainer.fit(bundle.graph, bundle.train_nodes, eval_nodes=bundle.test_nodes)
+    if resume_from is not None:
+        print(f"resuming from {resume_from}")
+    result = trainer.fit(
+        bundle.graph,
+        bundle.train_nodes,
+        eval_nodes=bundle.test_nodes,
+        checkpoint=manager,
+        resume_from=resume_from,
+    )
     metrics = trainer.evaluate(bundle.graph, bundle.test_nodes)
     print(
         f"trained {args.model} for {len(result.history)} epochs "
@@ -141,7 +194,9 @@ def _cmd_train(args) -> int:
 def _cmd_evaluate(args) -> int:
     bundle = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
     model = _build_model(args, bundle.graph.feature_dim)
-    load_state(model, args.load)
+    code = _try_load_state(model, args.load)
+    if code is not None:
+        return code
     trainer = Trainer(model, TrainConfig(epochs=0))
     metrics = trainer.evaluate(bundle.graph, bundle.test_nodes)
     print(
@@ -157,7 +212,9 @@ def _cmd_explain(args) -> int:
     bundle = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
     model = _build_model(args, bundle.graph.feature_dim)
     if args.load:
-        load_state(model, args.load)
+        code = _try_load_state(model, args.load)
+        if code is not None:
+            return code
     else:
         print("no --load given; training a detector first ...")
         Trainer(

@@ -77,7 +77,10 @@ class HeteroGraph:
         self.edge_src = np.asarray(self.edge_src, dtype=np.int64)
         self.edge_dst = np.asarray(self.edge_dst, dtype=np.int64)
         self.edge_type = np.asarray(self.edge_type, dtype=np.int64)
-        self.txn_features = np.asarray(self.txn_features, dtype=np.float64)
+        features = np.asarray(self.txn_features)
+        if not np.issubdtype(features.dtype, np.floating):
+            features = features.astype(np.float64)
+        self.txn_features = features
         self.labels = np.asarray(self.labels, dtype=np.int64)
         self.validate()
 

@@ -7,7 +7,7 @@ test suite and ablations.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -46,6 +46,32 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # -- (de)serialisation: required for checkpoint/resume ---------------
+    def state_dict(self) -> Dict:
+        """Optimiser state (learning rate plus subclass moments)."""
+        return {"lr": float(self.lr)}
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.lr = float(state["lr"])
+
+    def _check_moment_list(self, arrays: List[np.ndarray], name: str) -> List[np.ndarray]:
+        if len(arrays) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state {name!r} holds {len(arrays)} arrays "
+                f"for {len(self.parameters)} parameters"
+            )
+        out = []
+        for array, param in zip(arrays, self.parameters):
+            array = np.asarray(array)
+            if array.shape != param.data.shape:
+                raise ValueError(
+                    f"optimizer state {name!r} shape {array.shape} does not "
+                    f"match parameter shape {param.data.shape}"
+                )
+            out.append(array.copy())
+        return out
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -66,6 +92,19 @@ class SGD(Optimizer):
                 param.data -= self.lr * self._velocity[i]
             else:
                 param.data -= self.lr * param.grad
+
+    def state_dict(self) -> Dict:
+        state = super().state_dict()
+        if self._velocity is not None:
+            state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        velocity = state.get("velocity")
+        self._velocity = (
+            self._check_moment_list(list(velocity), "velocity") if velocity is not None else None
+        )
 
 
 class Adam(Optimizer):
@@ -103,6 +142,20 @@ class Adam(Optimizer):
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
             self._update(param, i, grad)
+
+    def state_dict(self) -> Dict:
+        """First/second moments plus the bias-correction step count."""
+        state = super().state_dict()
+        state["step"] = int(self._step)
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        self._step = int(state["step"])
+        self._m = self._check_moment_list(list(state["m"]), "m")
+        self._v = self._check_moment_list(list(state["v"]), "v")
 
 
 class AdamW(Adam):

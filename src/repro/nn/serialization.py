@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 import os
+import zlib
 from typing import Dict
 
 import numpy as np
@@ -17,6 +18,10 @@ import numpy as np
 from .module import Module
 
 _MANIFEST_KEY = "__manifest__"
+
+
+def _array_crc(array: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(array).tobytes())
 
 
 def save_state(model: Module, path: str) -> str:
@@ -29,6 +34,7 @@ def save_state(model: Module, path: str) -> str:
         "format": "repro-state-v1",
         "num_parameters": int(sum(array.size for array in state.values())),
         "keys": sorted(state),
+        "crc32": {key: _array_crc(array) for key, array in state.items()},
     }
     payload: Dict[str, np.ndarray] = dict(state)
     payload[_MANIFEST_KEY] = np.frombuffer(
@@ -50,6 +56,8 @@ def load_state(model: Module, path: str) -> Module:
     """
     if not path.endswith(".npz"):
         path = path + ".npz"
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no model state archive at {path}")
     with np.load(path) as archive:
         manifest_raw = archive.get(_MANIFEST_KEY)
         if manifest_raw is None:
@@ -58,6 +66,11 @@ def load_state(model: Module, path: str) -> Module:
         if manifest.get("format") != "repro-state-v1":
             raise ValueError(f"unsupported state format {manifest.get('format')!r}")
         state = {key: archive[key] for key in archive.files if key != _MANIFEST_KEY}
+    # Checksums were added for crash-safety; archives written before
+    # then simply skip verification.
+    for key, expected in manifest.get("crc32", {}).items():
+        if key in state and _array_crc(state[key]) != expected:
+            raise ValueError(f"{path}: checksum mismatch for {key!r} (corrupt archive)")
     model.load_state_dict(state)
     return model
 

@@ -1,0 +1,144 @@
+"""Seeded failure injection for the simulated DDP cluster and KV-store.
+
+The paper's 16-machine cluster (Sec. 3.3.2) is synchronous: one dead
+worker stalls every epoch. :class:`FaultPlan` generates the failures a
+production deployment actually sees — transient worker crashes,
+stragglers, flaky reads — deterministically from a seed, so a degraded
+run is exactly reproducible. :class:`~repro.train.distributed.DistributedTrainer`
+consumes the plan to exercise graceful degradation: crashed workers are
+excluded from the gradient all-reduce for that round and rejoin the
+next, with every event recorded in the epoch history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..storage.kvstore import KVStore
+from .retry import TransientReadError
+
+CRASH = "crash"
+STRAGGLER = "straggler"
+RECOVERY = "recovery"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One observed fault or recovery, recorded in the epoch history."""
+
+    epoch: int
+    worker_id: int
+    kind: str  # "crash" | "straggler" | "recovery"
+    detail: str = ""
+
+
+class FaultPlan:
+    """Deterministic per-epoch fault schedule for ``num_workers`` workers.
+
+    Faults for epoch ``e`` are drawn from ``default_rng([seed, e])``, so
+    the plan is a pure function of ``(seed, epoch)`` — re-running an
+    epoch re-produces its faults. A scripted ``crash_schedule``
+    (epoch -> worker ids) overrides the probabilistic draw for those
+    epochs. At least one worker always survives: a synchronous cluster
+    with zero live workers has nothing to degrade to.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        crash_prob: float = 0.0,
+        straggler_prob: float = 0.0,
+        straggler_slowdown: float = 3.0,
+        max_failures_per_epoch: Optional[int] = None,
+        crash_schedule: Optional[Mapping[int, Sequence[int]]] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if straggler_slowdown < 1.0:
+            raise ValueError("straggler_slowdown must be >= 1")
+        self.num_workers = num_workers
+        self.crash_prob = crash_prob
+        self.straggler_prob = straggler_prob
+        self.straggler_slowdown = straggler_slowdown
+        self.max_failures_per_epoch = (
+            num_workers - 1 if max_failures_per_epoch is None else max_failures_per_epoch
+        )
+        self.crash_schedule = (
+            {int(e): [int(w) for w in ws] for e, ws in crash_schedule.items()}
+            if crash_schedule
+            else {}
+        )
+        self.seed = seed
+
+    def epoch_faults(self, epoch: int) -> Dict[int, str]:
+        """Worker-id -> fault kind for one synchronisation round."""
+        rng = np.random.default_rng([self.seed, int(epoch)])
+        crash_draw = rng.random(self.num_workers)
+        straggle_draw = rng.random(self.num_workers)
+
+        if epoch in self.crash_schedule:
+            crashed = [w for w in self.crash_schedule[epoch] if 0 <= w < self.num_workers]
+        else:
+            crashed = [w for w in range(self.num_workers) if crash_draw[w] < self.crash_prob]
+        crashed = crashed[: self.max_failures_per_epoch]
+        if len(crashed) >= self.num_workers:
+            # Keep the lowest-id worker alive; total loss is an outage,
+            # not a degradation this harness models.
+            crashed = [w for w in crashed if w != min(crashed)]
+
+        faults = {w: CRASH for w in crashed}
+        for worker in range(self.num_workers):
+            if worker not in faults and straggle_draw[worker] < self.straggler_prob:
+                faults[worker] = STRAGGLER
+        return faults
+
+
+class FlakyKVStore(KVStore):
+    """Inject deterministic transient read faults into any KV-store.
+
+    ``fail_first`` makes the first N reads of *each key* raise
+    :class:`TransientReadError` (then succeed) — the shape retry logic
+    must beat. ``fail_rate`` additionally fails reads at random from a
+    seeded generator.
+    """
+
+    def __init__(
+        self,
+        store: KVStore,
+        fail_first: int = 0,
+        fail_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.store = store
+        self.fail_first = fail_first
+        self.fail_rate = fail_rate
+        self.injected = 0
+        self._attempts: Dict[str, int] = {}
+        self._rng = np.random.default_rng(seed)
+
+    def get(self, key: str) -> bytes:
+        seen = self._attempts.get(key, 0)
+        if seen < self.fail_first:
+            self._attempts[key] = seen + 1
+            self.injected += 1
+            raise TransientReadError(f"injected fault for {key!r} (attempt {seen + 1})")
+        if self.fail_rate and float(self._rng.random()) < self.fail_rate:
+            self.injected += 1
+            raise TransientReadError(f"injected random fault for {key!r}")
+        return self.store.get(key)
+
+    def put(self, key: str, value: bytes) -> None:
+        self.store.put(key, value)
+
+    def contains(self, key: str) -> bool:
+        return self.store.contains(key)
+
+    def keys(self) -> List[str]:
+        return self.store.keys()
+
+    def close(self) -> None:
+        self.store.close()

@@ -1,0 +1,138 @@
+"""Deterministic retry with exponential backoff and jitter.
+
+Transient read faults are a fact of life for a KV-store-backed
+production graph (Appendix H.5: the deployed system reads features
+from a remote store on every scoring request). :func:`retry_call`
+implements capped exponential backoff whose jitter is drawn from a
+*seeded* generator, so a retry schedule is reproducible — the same
+property the rest of this reproduction demands of training.
+
+:class:`RetryingKVStore` wraps any :class:`~repro.storage.kvstore.KVStore`
+and retries reads that raise :class:`TransientReadError` (injected by
+:class:`~repro.reliability.faults.FlakyKVStore`, or raised by real
+transports) or :class:`~repro.storage.kvstore.CorruptStoreError`
+(checksum failures, which may be transient bit-flips in transit). When
+retries are exhausted the *original* typed error is re-raised — callers
+always see a checksum failure as :class:`CorruptStoreError`, never
+garbage bytes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Type
+
+import numpy as np
+
+from ..storage.kvstore import CorruptStoreError, KVStore
+
+
+class TransientReadError(IOError):
+    """A read failed for a reason that may succeed on retry."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with seeded (deterministic) jitter.
+
+    The delay before retry ``i`` (0-based) is
+    ``min(base_delay * multiplier**i, max_delay) * (1 + jitter * u_i)``
+    with ``u_i`` drawn from ``default_rng(seed)`` — two policies with
+    the same fields produce identical schedules.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def delays(self) -> List[float]:
+        """The full backoff schedule (``max_attempts - 1`` sleeps)."""
+        rng = np.random.default_rng(self.seed)
+        schedule = []
+        for attempt in range(self.max_attempts - 1):
+            base = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+            schedule.append(base * (1.0 + self.jitter * float(rng.random())))
+        return schedule
+
+
+def retry_call(
+    fn: Callable[[], object],
+    policy: Optional[RetryPolicy] = None,
+    retry_on: Tuple[Type[BaseException], ...] = (TransientReadError,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+):
+    """Call ``fn`` up to ``policy.max_attempts`` times.
+
+    Only exceptions in ``retry_on`` are retried; anything else (e.g.
+    ``KeyError`` for a genuinely missing key) propagates immediately.
+    After the final attempt the last error is re-raised unchanged.
+    """
+    policy = policy or RetryPolicy()
+    schedule = policy.delays()
+    last: Optional[BaseException] = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn()
+        except retry_on as error:
+            last = error
+            if attempt < len(schedule):
+                delay = schedule[attempt]
+                if on_retry is not None:
+                    on_retry(attempt, error, delay)
+                sleep(delay)
+    assert last is not None
+    raise last
+
+
+class RetryingKVStore(KVStore):
+    """Read-retry wrapper around any KV-store.
+
+    ``retries`` counts the retry sleeps taken over the wrapper's
+    lifetime (observability for the fault-injection harness).
+    """
+
+    def __init__(
+        self,
+        store: KVStore,
+        policy: Optional[RetryPolicy] = None,
+        retry_on: Tuple[Type[BaseException], ...] = (TransientReadError, CorruptStoreError),
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.store = store
+        self.policy = policy or RetryPolicy()
+        self.retry_on = retry_on
+        self.retries = 0
+        self._sleep = sleep
+
+    def _count(self, attempt: int, error: BaseException, delay: float) -> None:
+        self.retries += 1
+
+    def get(self, key: str) -> bytes:
+        return retry_call(
+            lambda: self.store.get(key),
+            policy=self.policy,
+            retry_on=self.retry_on,
+            sleep=self._sleep,
+            on_retry=self._count,
+        )
+
+    def put(self, key: str, value: bytes) -> None:
+        self.store.put(key, value)
+
+    def contains(self, key: str) -> bool:
+        return self.store.contains(key)
+
+    def keys(self) -> List[str]:
+        return self.store.keys()
+
+    def close(self) -> None:
+        self.store.close()

@@ -1,10 +1,11 @@
 """repro.storage — KV-store substrate for graph data loading."""
 
-from .kvstore import InMemoryKVStore, KVStore, MmapKVStore
+from .kvstore import CorruptStoreError, InMemoryKVStore, KVStore, MmapKVStore
 from .loader import GraphStore, WorkerLoader
 
 __all__ = [
     "KVStore",
+    "CorruptStoreError",
     "InMemoryKVStore",
     "MmapKVStore",
     "GraphStore",

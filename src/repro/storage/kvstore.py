@@ -17,20 +17,44 @@ to ~1 min/epoch. We reproduce both designs:
     its **own** handle via :meth:`reader` and reads without locking
     (the file is immutable once written).
 
+Durability: :meth:`MmapKVStore.finalize` appends a checksummed index
+footer, so a finalized store survives process restarts and is
+reopenable with :meth:`MmapKVStore.open` — no in-memory state needed.
+The on-disk layout is::
+
+    [value bytes ...][index blob (JSON)][footer]
+    footer = magic(8s) | index_offset(Q) | index_length(Q) | index_crc32(I)
+
+Each index entry carries a per-value CRC32, verified on every read;
+truncated (mid-crash) files fail the footer checks and corrupt values
+fail the per-value check, both surfacing as :class:`CorruptStoreError`
+rather than garbage bytes.
+
 Values are arbitrary bytes; :mod:`repro.storage.loader` layers numpy
 (de)serialisation on top.
 """
 
 from __future__ import annotations
 
+import json
 import mmap
 import os
 import struct
 import threading
+import zlib
 from typing import Dict, Iterator, List, Optional, Tuple
 
 _LENGTH_FORMAT = "<Q"
 _LENGTH_BYTES = struct.calcsize(_LENGTH_FORMAT)
+
+_FOOTER_MAGIC = b"XFKV0001"
+_FOOTER_FORMAT = "<8sQQI"  # magic, index_offset, index_length, index_crc32
+_FOOTER_BYTES = struct.calcsize(_FOOTER_FORMAT)
+_INDEX_FORMAT_NAME = "xfkv-index-v1"
+
+
+class CorruptStoreError(RuntimeError):
+    """A store file is truncated, unfinalized, or fails a checksum."""
 
 
 class KVStore:
@@ -68,6 +92,8 @@ class InMemoryKVStore(KVStore):
         self._data: Dict[str, bytes] = {}
 
     def put(self, key: str, value: bytes) -> None:
+        if not isinstance(key, str):
+            raise TypeError(f"keys must be str, got {type(key).__name__}")
         if not isinstance(value, (bytes, bytearray)):
             raise TypeError("values must be bytes")
         self._data[key] = bytes(value)
@@ -88,21 +114,34 @@ class InMemoryKVStore(KVStore):
 
 
 class _MmapReader:
-    """One independent memory-mapped read handle."""
+    """One independent memory-mapped read handle.
 
-    def __init__(self, path: str, index: Dict[str, Tuple[int, int]]) -> None:
+    The index maps keys to ``(offset, length, crc32)``; every read is
+    checksum-verified unless ``verify=False``.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        index: Dict[str, Tuple[int, int, int]],
+        verify: bool = True,
+    ) -> None:
         self._file = open(path, "rb")
         size = os.path.getsize(path)
         self._map = mmap.mmap(self._file.fileno(), size, access=mmap.ACCESS_READ) if size else None
         self._index = index
+        self._verify = verify
 
     def get(self, key: str) -> bytes:
         if key not in self._index:
             raise KeyError(key)
         if self._map is None:
             raise KeyError(key)
-        offset, length = self._index[key]
-        return self._map[offset : offset + length]
+        offset, length, crc = self._index[key]
+        value = self._map[offset : offset + length]
+        if self._verify and zlib.crc32(value) != crc:
+            raise CorruptStoreError(f"checksum mismatch reading key {key!r}")
+        return value
 
     def close(self) -> None:
         if self._map is not None:
@@ -110,42 +149,146 @@ class _MmapReader:
         self._file.close()
 
 
+def _read_index(path: str) -> Tuple[Dict[str, Tuple[int, int, int]], int]:
+    """Validate the footer of a finalized store; return (index, data_length).
+
+    Raises :class:`CorruptStoreError` on any inconsistency — missing or
+    garbled footer (unfinalized or truncated file), index region that
+    does not match the file size, or a failed index checksum.
+    """
+    size = os.path.getsize(path)
+    if size < _FOOTER_BYTES:
+        raise CorruptStoreError(f"{path}: file too small to hold a footer (truncated?)")
+    with open(path, "rb") as handle:
+        handle.seek(size - _FOOTER_BYTES)
+        magic, index_offset, index_length, index_crc = struct.unpack(
+            _FOOTER_FORMAT, handle.read(_FOOTER_BYTES)
+        )
+        if magic != _FOOTER_MAGIC:
+            raise CorruptStoreError(
+                f"{path}: footer magic missing — store was never finalized or the file is truncated"
+            )
+        if index_offset + index_length + _FOOTER_BYTES != size:
+            raise CorruptStoreError(f"{path}: index region inconsistent with file size")
+        handle.seek(index_offset)
+        blob = handle.read(index_length)
+    if len(blob) != index_length or zlib.crc32(blob) != index_crc:
+        raise CorruptStoreError(f"{path}: index checksum mismatch")
+    try:
+        payload = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise CorruptStoreError(f"{path}: index is not valid JSON: {error}") from error
+    if payload.get("format") != _INDEX_FORMAT_NAME:
+        raise CorruptStoreError(f"{path}: unknown index format {payload.get('format')!r}")
+    data_length = int(payload["data_length"])
+    index: Dict[str, Tuple[int, int, int]] = {}
+    for key, offset, length, crc in payload["entries"]:
+        offset, length = int(offset), int(length)
+        if offset + length > data_length:
+            raise CorruptStoreError(f"{path}: entry {key!r} points outside the data region")
+        index[str(key)] = (offset, length, int(crc))
+    return index, data_length
+
+
 class MmapKVStore(KVStore):
     """File-backed append-only KV-store with mmap readers.
 
     Writing happens in a build phase (``put``); reading requires
-    :meth:`finalize` (writes are flushed and the file becomes
-    immutable), mirroring the paper's one-time graph ingestion.
+    :meth:`finalize` (writes are flushed, a checksummed index footer is
+    appended, and the file becomes immutable), mirroring the paper's
+    one-time graph ingestion. A finalized store can be reopened from
+    disk in a fresh process with :meth:`open`.
     """
 
-    def __init__(self, path: str, single_handle: bool = False) -> None:
+    def __init__(
+        self,
+        path: str,
+        single_handle: bool = False,
+        overwrite: bool = False,
+        verify: bool = True,
+    ) -> None:
+        if os.path.exists(path) and not overwrite:
+            raise FileExistsError(
+                f"{path} already exists; pass overwrite=True to replace it "
+                "or MmapKVStore.open() to read it"
+            )
         self.path = path
         self.single_handle = single_handle
-        self._index: Dict[str, Tuple[int, int]] = {}
+        self.verify = verify
+        self._index: Dict[str, Tuple[int, int, int]] = {}
         self._write_file = open(path, "wb")
         self._offset = 0
         self._finalized = False
         self._shared_reader: Optional[_MmapReader] = None
         self._lock = threading.Lock()
 
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        single_handle: bool = False,
+        verify: bool = True,
+    ) -> "MmapKVStore":
+        """Reopen a finalized store from disk — no in-memory index needed.
+
+        Validates the footer and index checksum; raises
+        :class:`CorruptStoreError` for truncated or unfinalized files
+        and :class:`FileNotFoundError` if the path does not exist.
+        """
+        if not os.path.exists(path):
+            raise FileNotFoundError(f"no KV-store file at {path}")
+        index, data_length = _read_index(path)
+        store = cls.__new__(cls)
+        store.path = path
+        store.single_handle = single_handle
+        store.verify = verify
+        store._index = index
+        store._write_file = None
+        store._offset = data_length
+        store._finalized = True
+        store._shared_reader = _MmapReader(path, index, verify=verify)
+        store._lock = threading.Lock()
+        return store
+
     # -- write phase ----------------------------------------------------
     def put(self, key: str, value: bytes) -> None:
         if self._finalized:
             raise RuntimeError("store is finalized; writes are not allowed")
+        if not isinstance(key, str):
+            # Catch non-str keys here rather than letting finalize()
+            # fail later with an opaque JSON serialisation error.
+            raise TypeError(f"keys must be str, got {type(key).__name__}")
         if not isinstance(value, (bytes, bytearray)):
             raise TypeError("values must be bytes")
+        value = bytes(value)
         self._write_file.write(value)
-        self._index[key] = (self._offset, len(value))
+        self._index[key] = (self._offset, len(value), zlib.crc32(value))
         self._offset += len(value)
 
     def finalize(self) -> None:
-        """Flush writes and switch to read mode."""
+        """Flush writes, append the checksummed index footer, and
+        switch to read mode."""
         if self._finalized:
             return
+        blob = json.dumps(
+            {
+                "format": _INDEX_FORMAT_NAME,
+                "data_length": self._offset,
+                "entries": [
+                    [key, offset, length, crc]
+                    for key, (offset, length, crc) in self._index.items()
+                ],
+            }
+        ).encode("utf-8")
+        self._write_file.write(blob)
+        self._write_file.write(
+            struct.pack(_FOOTER_FORMAT, _FOOTER_MAGIC, self._offset, len(blob), zlib.crc32(blob))
+        )
         self._write_file.flush()
+        os.fsync(self._write_file.fileno())
         self._write_file.close()
         self._finalized = True
-        self._shared_reader = _MmapReader(self.path, self._index)
+        self._shared_reader = _MmapReader(self.path, self._index, verify=self.verify)
 
     # -- read phase -------------------------------------------------------
     def get(self, key: str) -> bytes:
@@ -167,7 +310,7 @@ class MmapKVStore(KVStore):
             raise RuntimeError("finalize() the store before reading")
         if self.single_handle:
             raise RuntimeError("single-handle store cannot open per-worker readers")
-        return _MmapReader(self.path, self._index)
+        return _MmapReader(self.path, self._index, verify=self.verify)
 
     def contains(self, key: str) -> bool:
         return key in self._index
@@ -181,6 +324,8 @@ class MmapKVStore(KVStore):
 
     def close(self) -> None:
         if not self._finalized:
+            # Closed mid-build: no footer is written, so the file is
+            # deliberately left unreadable (a crash-torn store).
             self._write_file.close()
             self._finalized = True
         if self._shared_reader is not None:

@@ -51,13 +51,18 @@ class GraphStore:
             self.store.finalize()
 
     def load(self) -> HeteroGraph:
-        """Reassemble the full graph."""
+        """Reassemble the full graph, round-tripping the saved dtype."""
         arrays = {key: _decode_array(self.store.get(f"struct/{key}")) for key in self.STRUCT_KEYS}
         meta = _decode_array(self.store.get("struct/meta"))
         num_nodes, feature_dim = int(meta[0]), int(meta[1])
-        features = np.zeros((num_nodes, feature_dim))
+        features: Optional[np.ndarray] = None
         for node in range(num_nodes):
-            features[node] = _decode_array(self.store.get(f"feat/{node}"))
+            row = _decode_array(self.store.get(f"feat/{node}"))
+            if features is None:
+                features = np.zeros((num_nodes, feature_dim), dtype=row.dtype)
+            features[node] = row
+        if features is None:
+            features = np.zeros((num_nodes, feature_dim))
         return HeteroGraph(txn_features=features, **arrays)
 
     def load_features(self, nodes: Sequence[int]) -> np.ndarray:

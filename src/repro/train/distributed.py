@@ -29,6 +29,7 @@ from .. import nn
 from ..graph.hetero import HeteroGraph
 from ..graph.partition import group_partitions, pic_partition
 from ..graph.sampling import batched
+from ..reliability.faults import CRASH, RECOVERY, STRAGGLER, FaultEvent, FaultPlan
 from .metrics import accuracy, average_precision, roc_auc
 from .trainer import TrainConfig
 
@@ -85,6 +86,10 @@ class DistributedEpoch:
     wall_seconds: float
     sum_worker_seconds: float
     eval_auc: Optional[float] = None
+    failed_workers: List[int] = field(default_factory=list)
+    straggler_workers: List[int] = field(default_factory=list)
+    num_survivors: int = 0
+    fault_events: List[FaultEvent] = field(default_factory=list)
 
 
 @dataclass
@@ -104,27 +109,47 @@ class DistributedResult:
         """Per-epoch eval AUC (Figure 14)."""
         return [e.eval_auc for e in self.history]
 
+    @property
+    def fault_events(self) -> List[FaultEvent]:
+        """All fault/recovery events across the run, in epoch order."""
+        return [event for record in self.history for event in record.fault_events]
+
+    @property
+    def total_failures(self) -> int:
+        return sum(len(record.failed_workers) for record in self.history)
+
 
 class DistributedTrainer:
-    """DDP-style synchronous training over simulated workers."""
+    """DDP-style synchronous training over simulated workers.
+
+    With a :class:`~repro.reliability.faults.FaultPlan`, training
+    degrades gracefully instead of stalling like the paper's
+    synchronous 16-machine cluster: crashed workers are detected,
+    excluded from the round's all-reduce (the average is re-normalised
+    over survivors), and rejoin next epoch with a recorded recovery
+    event.
+    """
 
     def __init__(
         self,
         model,
         workers: List[WorkerPartition],
         config: Optional[TrainConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if not workers:
             raise ValueError("need at least one worker partition")
         self.model = model
         self.workers = workers
         self.config = config or TrainConfig()
+        self.fault_plan = fault_plan
         self.optimizer = nn.AdamW(
             model.parameters(),
             lr=self.config.learning_rate,
             weight_decay=self.config.weight_decay,
         )
         self._rng = np.random.default_rng(self.config.seed)
+        self._failed_previous: set = set()
 
     # ------------------------------------------------------------------
     def _worker_gradients(self, worker: WorkerPartition) -> tuple:
@@ -156,33 +181,62 @@ class DistributedTrainer:
         seconds = time.perf_counter() - started
         return accumulated, float(np.mean(losses)), seconds
 
-    def train_epoch(self) -> DistributedEpoch:
-        """One synchronous round: all workers compute, grads averaged."""
+    def train_epoch(self, epoch: int = 0) -> DistributedEpoch:
+        """One synchronous round: live workers compute, grads averaged.
+
+        Workers the fault plan crashes this round contribute nothing;
+        the all-reduce averages over survivors only (re-normalised), so
+        one dead machine degrades the update instead of stalling it.
+        """
         self.model.train()
+        faults = self.fault_plan.epoch_faults(epoch) if self.fault_plan is not None else {}
+        crashed = sorted(w for w, kind in faults.items() if kind == CRASH)
+        stragglers = sorted(w for w, kind in faults.items() if kind == STRAGGLER)
+        slowdown = self.fault_plan.straggler_slowdown if self.fault_plan is not None else 1.0
+
+        events: List[FaultEvent] = [
+            FaultEvent(epoch, w, CRASH, "worker excluded from all-reduce") for w in crashed
+        ]
+        for worker_id in sorted(self._failed_previous - set(crashed)):
+            events.append(FaultEvent(epoch, worker_id, RECOVERY, "worker rejoined all-reduce"))
+        self._failed_previous = set(crashed)
+
         worker_grads: List[List[np.ndarray]] = []
         worker_losses: List[float] = []
         worker_seconds: List[float] = []
         for worker in self.workers:
+            if worker.worker_id in faults and faults[worker.worker_id] == CRASH:
+                continue
             grads, loss, seconds = self._worker_gradients(worker)
+            if worker.worker_id in faults and faults[worker.worker_id] == STRAGGLER:
+                seconds *= slowdown
+                events.append(
+                    FaultEvent(epoch, worker.worker_id, STRAGGLER, f"slowdown x{slowdown:g}")
+                )
             worker_grads.append(grads)
             worker_losses.append(loss)
             worker_seconds.append(seconds)
 
-        # DDP all-reduce: average gradients across workers, then one
-        # optimiser step so every replica stays identical.
-        self.model.zero_grad()
-        num_workers = len(self.workers)
-        for index, param in enumerate(self.model.parameters()):
-            averaged = sum(grads[index] for grads in worker_grads) / num_workers
-            param.grad = averaged
-        nn.clip_grad_norm(self.model.parameters(), self.config.clip_norm)
-        self.optimizer.step()
+        # DDP all-reduce: average gradients across the survivors, then
+        # one optimiser step so every live replica stays identical.
+        num_survivors = len(worker_grads)
+        if num_survivors:
+            self.model.zero_grad()
+            for index, param in enumerate(self.model.parameters()):
+                averaged = sum(grads[index] for grads in worker_grads) / num_survivors
+                param.grad = averaged
+            nn.clip_grad_norm(self.model.parameters(), self.config.clip_norm)
+            self.optimizer.step()
 
         return DistributedEpoch(
-            epoch=0,
-            loss=float(np.mean(worker_losses)),
-            wall_seconds=float(np.max(worker_seconds)),
-            sum_worker_seconds=float(np.sum(worker_seconds)),
+            epoch=epoch,
+            loss=float(np.mean(worker_losses)) if worker_losses else 0.0,
+            wall_seconds=float(np.max(worker_seconds)) if worker_seconds else 0.0,
+            sum_worker_seconds=float(np.sum(worker_seconds)) if worker_seconds else 0.0,
+            failed_workers=crashed,
+            straggler_workers=stragglers,
+            num_survivors=num_survivors,
+            fault_events=events,
         )
 
     def fit(
@@ -193,8 +247,7 @@ class DistributedTrainer:
         """Train for the configured epochs, tracking convergence."""
         result = DistributedResult()
         for epoch in range(self.config.epochs):
-            record = self.train_epoch()
-            record.epoch = epoch
+            record = self.train_epoch(epoch)
             if eval_graph is not None and eval_nodes is not None and len(eval_nodes):
                 scores = self.model.predict_proba(eval_graph, eval_nodes)
                 labels = eval_graph.labels[np.asarray(eval_nodes, dtype=np.int64)]

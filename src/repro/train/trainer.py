@@ -10,14 +10,20 @@ graph, mini-batched over labeled target nodes.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from .. import nn
 from ..graph.hetero import HeteroGraph
 from ..graph.sampling import batched
+from ..reliability.checkpoint import (
+    CheckpointManager,
+    TrainingState,
+    collect_rng_states,
+    restore_rng_states,
+)
 from .metrics import accuracy, average_precision, roc_auc
 
 
@@ -88,17 +94,85 @@ class Trainer:
             losses.append(loss.item())
         return float(np.mean(losses)) if losses else 0.0
 
+    # -- checkpoint plumbing -------------------------------------------
+    def _capture_state(
+        self,
+        epoch: int,
+        result: TrainResult,
+        best_state: Optional[Dict[str, np.ndarray]],
+        epochs_since_best: int,
+    ) -> TrainingState:
+        """Snapshot everything the run needs to continue bit-exactly."""
+        rng_states = {"trainer": self._rng.bit_generator.state}
+        rng_states["model"] = collect_rng_states(self.model)
+        return TrainingState(
+            epoch=epoch,
+            model_state=self.model.state_dict(),
+            optimizer_state=self.optimizer.state_dict(),
+            rng_states=rng_states,
+            best_state=best_state,
+            best_auc=result.best_auc,
+            epochs_since_best=epochs_since_best,
+            history=[asdict(record) for record in result.history],
+        )
+
+    def _restore_state(self, state: TrainingState, result: TrainResult) -> tuple:
+        """Inverse of :meth:`_capture_state`; returns resume bookkeeping."""
+        self.model.load_state_dict(state.model_state)
+        self.optimizer.load_state_dict(state.optimizer_state)
+        self._rng.bit_generator.state = state.rng_states["trainer"]
+        restore_rng_states(self.model, state.rng_states.get("model", {}))
+        result.best_auc = state.best_auc
+        result.history = [EpochRecord(**record) for record in state.history]
+        return state.epoch + 1, state.best_state, state.epochs_since_best
+
+    @staticmethod
+    def _resolve_resume(resume_from) -> TrainingState:
+        if isinstance(resume_from, TrainingState):
+            return resume_from
+        if isinstance(resume_from, CheckpointManager):
+            return resume_from.load()
+        if isinstance(resume_from, str):
+            import os
+
+            if os.path.isdir(resume_from):
+                return CheckpointManager(resume_from).load()
+            directory = os.path.dirname(resume_from) or "."
+            return CheckpointManager(directory).load(resume_from)
+        raise TypeError(f"cannot resume from {type(resume_from).__name__}")
+
     def fit(
         self,
         graph: HeteroGraph,
         train_nodes: Sequence[int],
         eval_nodes: Optional[Sequence[int]] = None,
+        checkpoint: Optional[Union[CheckpointManager, str]] = None,
+        resume_from: Optional[Union[TrainingState, CheckpointManager, str]] = None,
     ) -> TrainResult:
-        """Train with optional per-epoch evaluation and early stopping."""
+        """Train with optional per-epoch evaluation and early stopping.
+
+        ``checkpoint`` (a :class:`CheckpointManager` or a directory
+        path) writes a crash-safe checkpoint after every epoch.
+        ``resume_from`` (a checkpoint file, directory, manager, or
+        :class:`TrainingState`) restores a previous run — model,
+        optimizer moments, RNG streams, and early-stopping counters —
+        so the resumed run is bit-identical to an uninterrupted one.
+        """
+        manager = CheckpointManager(checkpoint) if isinstance(checkpoint, str) else checkpoint
         result = TrainResult()
         best_state = None
         epochs_since_best = 0
-        for epoch in range(self.config.epochs):
+        start_epoch = 0
+        if resume_from is not None:
+            start_epoch, best_state, epochs_since_best = self._restore_state(
+                self._resolve_resume(resume_from), result
+            )
+        for epoch in range(start_epoch, self.config.epochs):
+            # Early stopping is checked at the top of the iteration so a
+            # resumed run makes the identical decision an uninterrupted
+            # run made after the checkpointed epoch.
+            if eval_nodes is not None and epochs_since_best >= self.config.patience:
+                break
             started = time.perf_counter()
             loss = self.train_epoch(graph, train_nodes)
             seconds = time.perf_counter() - started
@@ -120,8 +194,8 @@ class Trainer:
             result.history.append(record)
             if self.config.verbose:
                 print(f"epoch {epoch}: loss={loss:.4f} auc={record.eval_auc}")
-            if eval_nodes is not None and epochs_since_best >= self.config.patience:
-                break
+            if manager is not None:
+                manager.save(self._capture_state(epoch, result, best_state, epochs_since_best))
         if best_state is not None:
             self.model.load_state_dict(best_state)
         return result

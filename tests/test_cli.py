@@ -131,6 +131,64 @@ class TestPipelineCommand:
         assert "after label sampling" in out
 
 
+class TestLoadErrorHandling:
+    def test_evaluate_missing_load_exits_2(self, capsys):
+        code = main(["evaluate", "--scale", "0.1", "--load", "/nonexistent/model.npz"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and err.count("\n") == 1
+
+    def test_evaluate_non_archive_load_exits_2(self, tmp_path, capsys):
+        junk = tmp_path / "junk.npz"
+        junk.write_text("definitely not an npz archive")
+        code = main(["evaluate", "--scale", "0.1", "--load", str(junk)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_explain_missing_load_exits_2(self, capsys):
+        code = main(["explain", "--scale", "0.1", "--load", "/nonexistent/model.npz"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCheckpointFlags:
+    def test_train_writes_checkpoints_and_resumes(self, tmp_path, capsys):
+        ckpt_dir = str(tmp_path / "ckpts")
+        code = main(
+            ["train", "--scale", "0.1", "--model", "gem", "--epochs", "2",
+             "--checkpoint-dir", ckpt_dir]
+        )
+        assert code == 0
+        capsys.readouterr()
+        import os
+
+        files = sorted(os.listdir(ckpt_dir))
+        assert "MANIFEST.json" in files
+        assert any(name.startswith("ckpt-") for name in files)
+
+        code = main(
+            ["train", "--scale", "0.1", "--model", "gem", "--epochs", "4",
+             "--checkpoint-dir", ckpt_dir, "--resume"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resuming from" in out
+        assert "trained gem for 4 epochs" in out
+
+    def test_resume_without_dir_exits_2(self, capsys):
+        code = main(["train", "--scale", "0.1", "--epochs", "1", "--resume"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_resume_empty_dir_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["train", "--scale", "0.1", "--epochs", "1",
+             "--checkpoint-dir", str(tmp_path / "fresh"), "--resume"]
+        )
+        assert code == 2
+        assert "no checkpoints" in capsys.readouterr().err
+
+
 class TestExplainWithLoad:
     def test_explain_loads_saved_model(self, tmp_path, capsys):
         save_path = str(tmp_path / "m.npz")

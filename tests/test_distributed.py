@@ -118,3 +118,98 @@ class TestDistributedTraining:
     def test_no_workers_rejected(self, detector_config):
         with pytest.raises(ValueError):
             DistributedTrainer(GEMModel(detector_config), [], TrainConfig())
+
+
+class TestFaultInjectedTraining:
+    """Graceful degradation under a FaultPlan (the paper's synchronous
+    cluster would simply stall on the first dead worker)."""
+
+    def test_crashed_worker_excluded_and_recorded(self, detector_config, workers4):
+        from repro.reliability import FaultPlan
+
+        plan = FaultPlan(num_workers=4, crash_schedule={0: [1]})
+        model = GEMModel(detector_config)
+        trainer = DistributedTrainer(model, workers4, TrainConfig(epochs=1), fault_plan=plan)
+        record = trainer.train_epoch(0)
+        assert record.failed_workers == [1]
+        assert record.num_survivors == 3
+        assert any(e.kind == "crash" and e.worker_id == 1 for e in record.fault_events)
+
+    def test_recovery_event_recorded_next_epoch(self, detector_config, workers4):
+        from repro.reliability import FaultPlan
+
+        plan = FaultPlan(num_workers=4, crash_schedule={0: [2]})
+        model = GEMModel(detector_config)
+        trainer = DistributedTrainer(model, workers4, TrainConfig(epochs=2), fault_plan=plan)
+        result = trainer.fit()
+        epoch1 = result.history[1]
+        assert epoch1.failed_workers == []
+        recoveries = [e for e in epoch1.fault_events if e.kind == "recovery"]
+        assert [e.worker_id for e in recoveries] == [2]
+        assert result.total_failures == 1
+
+    def test_straggler_slows_wall_clock_only(self, detector_config, workers4):
+        from repro.reliability import FaultPlan
+
+        plan = FaultPlan(
+            num_workers=4,
+            crash_schedule={},
+            straggler_prob=0.0,
+            straggler_slowdown=100.0,
+        )
+        # Force worker 0 to straggle by a scripted plan substitute:
+        plan.straggler_prob = 1.0
+        model = GEMModel(detector_config)
+        trainer = DistributedTrainer(model, workers4, TrainConfig(epochs=1), fault_plan=plan)
+        record = trainer.train_epoch(0)
+        assert record.straggler_workers  # someone straggled
+        assert record.num_survivors == 4  # but everyone's gradient counted
+
+    def test_degraded_mode_converges_close_to_fault_free(self, detector_config, workers4,
+                                                         tiny_graph, tiny_splits):
+        """1 of 4 workers failing every epoch still completes fit() and
+        lands within 0.05 AUC of the fault-free run."""
+        from repro.reliability import FaultPlan
+
+        _, test = tiny_splits
+        config = TrainConfig(epochs=5, learning_rate=5e-3)
+
+        clean = DistributedTrainer(
+            XFraudDetectorPlus(detector_config), workers4, config
+        ).fit(eval_graph=tiny_graph, eval_nodes=test)
+
+        plan = FaultPlan(
+            num_workers=4, crash_schedule={e: [e % 4] for e in range(config.epochs)}
+        )
+        degraded_trainer = DistributedTrainer(
+            XFraudDetectorPlus(detector_config), workers4, config, fault_plan=plan
+        )
+        degraded = degraded_trainer.fit(eval_graph=tiny_graph, eval_nodes=test)
+
+        assert len(degraded.history) == config.epochs
+        assert all(len(r.failed_workers) == 1 for r in degraded.history)
+        assert abs(degraded.metrics["auc"] - clean.metrics["auc"]) <= 0.05
+
+    def test_all_workers_crashed_skips_step(self, detector_config, tiny_graph, tiny_splits):
+        """A round with zero survivors (scripted, bypassing the plan's
+        survivor guarantee) must not step the optimiser or crash."""
+        from repro.train.distributed import make_worker_partitions
+
+        train, _ = tiny_splits
+        workers = make_worker_partitions(tiny_graph, train, num_workers=2, num_partitions=8)
+
+        class TotalOutagePlan:
+            straggler_slowdown = 1.0
+
+            def epoch_faults(self, epoch):
+                return {0: "crash", 1: "crash"}
+
+        model = GEMModel(detector_config)
+        trainer = DistributedTrainer(
+            model, workers, TrainConfig(epochs=1), fault_plan=TotalOutagePlan()
+        )
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        record = trainer.train_epoch(0)
+        assert record.num_survivors == 0
+        after = model.state_dict()
+        assert all(np.array_equal(before[k], after[k]) for k in before)

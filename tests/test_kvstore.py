@@ -1,11 +1,18 @@
 """KV-stores and graph loaders (Sec. 3.3.3)."""
 
+import os
 import threading
 
 import numpy as np
 import pytest
 
-from repro.storage import GraphStore, InMemoryKVStore, MmapKVStore, WorkerLoader
+from repro.storage import (
+    CorruptStoreError,
+    GraphStore,
+    InMemoryKVStore,
+    MmapKVStore,
+    WorkerLoader,
+)
 
 
 class TestInMemoryKVStore:
@@ -109,6 +116,193 @@ class TestMmapKVStore:
             store.put("x", b"1")
             store.finalize()
 
+    def test_refuses_to_clobber_existing_file(self, tmp_path):
+        path = str(tmp_path / "kv.bin")
+        store = MmapKVStore(path)
+        store.put("x", b"precious")
+        store.finalize()
+        store.close()
+        with pytest.raises(FileExistsError):
+            MmapKVStore(path)
+        # The original data is untouched by the refused open.
+        assert MmapKVStore.open(path).get("x") == b"precious"
+
+    def test_non_str_key_rejected_at_put(self, tmp_path):
+        """Bad key types fail fast at put(), not as an opaque JSON
+        error deep inside finalize()."""
+        store = MmapKVStore(str(tmp_path / "kv.bin"))
+        with pytest.raises(TypeError, match="keys must be str"):
+            store.put(b"node:0", b"abc")
+        with pytest.raises(TypeError, match="keys must be str"):
+            InMemoryKVStore().put(7, b"abc")
+
+    def test_overwrite_opt_in(self, tmp_path):
+        path = str(tmp_path / "kv.bin")
+        first = MmapKVStore(path)
+        first.put("x", b"old")
+        first.finalize()
+        first.close()
+        second = MmapKVStore(path, overwrite=True)
+        second.put("x", b"new")
+        second.finalize()
+        assert second.get("x") == b"new"
+        second.close()
+
+
+class TestDurableStore:
+    """finalize() writes a checksummed footer; open() round-trips it."""
+
+    def _build(self, path, payload):
+        store = MmapKVStore(path)
+        for key, value in payload.items():
+            store.put(key, value)
+        store.finalize()
+        store.close()
+
+    def test_open_roundtrips_from_disk(self, tmp_path):
+        path = str(tmp_path / "kv.bin")
+        payload = {f"k{i}": bytes([i]) * (i + 1) for i in range(20)}
+        self._build(path, payload)
+        # Fresh handle: the index is rebuilt purely from the footer.
+        reopened = MmapKVStore.open(path)
+        assert sorted(reopened.keys()) == sorted(payload)
+        for key, value in payload.items():
+            assert reopened.get(key) == value
+        assert dict(reopened.items()) == payload
+        reopened.close()
+
+    def test_open_supports_private_readers(self, tmp_path):
+        path = str(tmp_path / "kv.bin")
+        self._build(path, {"a": b"1234"})
+        reopened = MmapKVStore.open(path)
+        reader = reopened.reader()
+        assert reader.get("a") == b"1234"
+        reader.close()
+        reopened.close()
+
+    def test_open_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            MmapKVStore.open(str(tmp_path / "nope.bin"))
+
+    def test_open_unfinalized_file_rejected(self, tmp_path):
+        path = str(tmp_path / "kv.bin")
+        store = MmapKVStore(path)
+        store.put("a", b"payload-bytes")
+        store.close()  # crash before finalize: no footer
+        with pytest.raises(CorruptStoreError):
+            MmapKVStore.open(path)
+
+    def test_torn_file_rejected_not_garbage(self, tmp_path):
+        """Truncating the data file mid-value must raise a typed error,
+        never return garbage bytes."""
+        path = str(tmp_path / "kv.bin")
+        self._build(path, {f"k{i}": b"x" * 100 for i in range(10)})
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size // 2)
+        with pytest.raises(CorruptStoreError):
+            MmapKVStore.open(path)
+
+    def test_flipped_byte_in_value_detected(self, tmp_path):
+        path = str(tmp_path / "kv.bin")
+        self._build(path, {"a": b"A" * 50, "b": b"B" * 50})
+        with open(path, "r+b") as handle:
+            handle.seek(60)  # inside value "b"
+            handle.write(b"Z")
+        reopened = MmapKVStore.open(path)
+        assert reopened.get("a") == b"A" * 50
+        with pytest.raises(CorruptStoreError):
+            reopened.get("b")
+        reopened.close()
+
+    def test_flipped_byte_in_index_detected(self, tmp_path):
+        path = str(tmp_path / "kv.bin")
+        self._build(path, {"a": b"A" * 50})
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.seek(size - 30)  # inside the JSON index blob
+            handle.write(b"\x00")
+        with pytest.raises(CorruptStoreError):
+            MmapKVStore.open(path)
+
+    def test_verification_can_be_disabled(self, tmp_path):
+        path = str(tmp_path / "kv.bin")
+        self._build(path, {"a": b"A" * 50})
+        with open(path, "r+b") as handle:
+            handle.seek(10)
+            handle.write(b"Z")
+        unverified = MmapKVStore.open(path, verify=False)
+        assert unverified.get("a") != b"A" * 50  # garbage, by request
+        unverified.close()
+
+    def test_empty_store_roundtrips(self, tmp_path):
+        path = str(tmp_path / "kv.bin")
+        self._build(path, {})
+        reopened = MmapKVStore.open(path)
+        assert reopened.keys() == []
+        reopened.close()
+
+
+class TestConcurrentReaders:
+    """Threaded readers: the LevelDB-style shared handle serialises on a
+    lock, the LMDB-style multi-handle design reads lock-free — both must
+    return consistent bytes."""
+
+    PAYLOAD = {f"k{i}": bytes([i]) * 200 for i in range(40)}
+
+    def _run_threads(self, read_fn, workers=6, rounds=3):
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(rounds):
+                    for key, value in self.PAYLOAD.items():
+                        if read_fn(key) != value:
+                            errors.append(key)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=worker) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return errors
+
+    def test_single_handle_threaded_reads(self, tmp_path):
+        store = MmapKVStore(str(tmp_path / "kv.bin"), single_handle=True)
+        for key, value in self.PAYLOAD.items():
+            store.put(key, value)
+        store.finalize()
+        assert self._run_threads(store.get) == []
+        store.close()
+
+    def test_multi_handle_threaded_reads(self, tmp_path):
+        store = MmapKVStore(str(tmp_path / "kv.bin"))
+        for key, value in self.PAYLOAD.items():
+            store.put(key, value)
+        store.finalize()
+        readers = threading.local()
+
+        def read(key):
+            if not hasattr(readers, "handle"):
+                readers.handle = store.reader()
+            return readers.handle.get(key)
+
+        assert self._run_threads(read) == []
+        store.close()
+
+    def test_reopened_store_threaded_reads(self, tmp_path):
+        path = str(tmp_path / "kv.bin")
+        store = MmapKVStore(path)
+        for key, value in self.PAYLOAD.items():
+            store.put(key, value)
+        store.finalize()
+        store.close()
+        reopened = MmapKVStore.open(path)
+        assert self._run_threads(reopened.get) == []
+        reopened.close()
+
 
 class TestGraphStore:
     def test_graph_roundtrip_memory(self, tiny_graph):
@@ -132,6 +326,25 @@ class TestGraphStore:
         store.save(tiny_graph)
         rows = store.load_features([0, 2, 5])
         np.testing.assert_allclose(rows, tiny_graph.txn_features[[0, 2, 5]])
+
+    def test_feature_dtype_roundtrips(self, tiny_graph):
+        """float32 features must come back float32, not float64."""
+        from repro.graph.hetero import HeteroGraph
+
+        graph32 = HeteroGraph(
+            node_type=tiny_graph.node_type,
+            edge_src=tiny_graph.edge_src,
+            edge_dst=tiny_graph.edge_dst,
+            edge_type=tiny_graph.edge_type,
+            txn_features=tiny_graph.txn_features.astype(np.float32),
+            labels=tiny_graph.labels,
+        )
+        assert graph32.txn_features.dtype == np.float32
+        store = GraphStore(InMemoryKVStore())
+        store.save(graph32)
+        loaded = store.load()
+        assert loaded.txn_features.dtype == np.float32
+        np.testing.assert_array_equal(loaded.txn_features, graph32.txn_features)
 
 
 class TestWorkerLoader:

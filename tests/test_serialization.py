@@ -52,3 +52,23 @@ class TestSaveLoad:
             load_state(nn.Linear(2, 2), path)
         with pytest.raises(ValueError):
             read_manifest(path)
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_state(nn.Linear(2, 2), str(tmp_path / "absent"))
+
+    def test_manifest_records_checksums(self, tmp_path):
+        model = nn.Linear(2, 2)
+        manifest = read_manifest(save_state(model, str(tmp_path / "m")))
+        assert set(manifest["crc32"]) == set(manifest["keys"])
+
+    def test_corrupted_array_detected(self, tmp_path):
+        """Tampering with a stored array fails the manifest checksum."""
+        model = nn.Linear(3, 3, rng=np.random.default_rng(0))
+        path = save_state(model, str(tmp_path / "m"))
+        with np.load(path) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        payload["weight"] = payload["weight"] + 1.0  # silent corruption
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="checksum"):
+            load_state(nn.Linear(3, 3), path)
