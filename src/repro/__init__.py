@@ -27,7 +27,7 @@ Quickstart::
     print(trainer.evaluate(data.graph, data.test_nodes))
 """
 
-from . import data, explain, graph, models, nn, reliability, rules, storage, train
+from . import data, explain, graph, models, nn, reliability, rules, serving, storage, train
 from .data import (
     DatasetBundle,
     GeneratorConfig,
@@ -75,6 +75,15 @@ from .reliability import (
     RetryingKVStore,
     RetryPolicy,
 )
+from .serving import (
+    CircuitBreaker,
+    Deadline,
+    ScoreRequest,
+    ScoreResponse,
+    ScoringService,
+    ServiceConfig,
+    ServiceStats,
+)
 from .train import (
     DistributedTrainer,
     TrainConfig,
@@ -96,6 +105,14 @@ __all__ = [
     "train",
     "explain",
     "reliability",
+    "serving",
+    "ScoringService",
+    "ServiceConfig",
+    "ServiceStats",
+    "ScoreRequest",
+    "ScoreResponse",
+    "Deadline",
+    "CircuitBreaker",
     "CheckpointManager",
     "FaultPlan",
     "RetryingKVStore",

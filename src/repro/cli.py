@@ -7,6 +7,8 @@ Commands
 ``evaluate``   load a saved model and evaluate on a preset dataset
 ``explain``    explain one transaction's prediction (text + DOT)
 ``pipeline``   run the Appendix-B label pipeline and print each stage
+``score``      score transactions through the online ScoringService
+``serve``      replay the deterministic chaos demo (``--demo``)
 
 Datasets are fully regenerable from (name, seed, scale), so commands
 take those instead of data files; model weights persist as ``.npz``.
@@ -128,6 +130,36 @@ def _parser() -> argparse.ArgumentParser:
     pipeline.add_argument("--seed", type=int, default=0)
     pipeline.add_argument("--buyers", type=int, default=400)
 
+    score = commands.add_parser("score", help="score transactions online")
+    _add_dataset_args(score)
+    _add_model_args(score)
+    score.add_argument("--load", default=None, help="saved model state (.npz)")
+    score.add_argument("--epochs", type=int, default=2, help="detector epochs if training")
+    score.add_argument(
+        "--node",
+        type=int,
+        action="append",
+        default=None,
+        help="transaction node id(s); default: first 5 test nodes",
+    )
+    score.add_argument(
+        "--deadline-ms", type=float, default=50.0, help="per-request latency budget"
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run the online scoring service demo (chaos storyline)"
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--scale", type=float, default=0.25)
+    serve.add_argument("--epochs", type=int, default=2)
+    serve.add_argument("--requests", type=int, default=40)
+    serve.add_argument("--burst", type=int, default=20)
+    serve.add_argument(
+        "--demo",
+        action="store_true",
+        help="replay the scripted KV-outage incident on a simulated clock",
+    )
+
     return parser
 
 
@@ -177,9 +209,11 @@ def _cmd_train(args) -> int:
         resume_from=resume_from,
     )
     metrics = trainer.evaluate(bundle.graph, bundle.test_nodes)
+    timing = result.epoch_time_percentiles()
     print(
         f"trained {args.model} for {len(result.history)} epochs "
-        f"({result.seconds_per_epoch:.2f}s/epoch)"
+        f"({result.seconds_per_epoch:.2f}s/epoch, "
+        f"p50={timing['p50']:.2f}s p95={timing['p95']:.2f}s p99={timing['p99']:.2f}s)"
     )
     print(
         f"test: accuracy={metrics['accuracy']:.4f} ap={metrics['ap']:.4f} "
@@ -262,12 +296,87 @@ def _cmd_pipeline(args) -> int:
     return 0
 
 
+def _cmd_score(args) -> int:
+    from .serving import ScoreRequest, ScoringService, ServiceConfig
+
+    bundle = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    model = _build_model(args, bundle.graph.feature_dim)
+    if args.load:
+        code = _try_load_state(model, args.load)
+        if code is not None:
+            return code
+    elif args.epochs > 0:
+        print(f"no --load given; training {args.model} for {args.epochs} epochs ...")
+        Trainer(model, TrainConfig(epochs=args.epochs, batch_size=2048)).fit(
+            bundle.graph, bundle.train_nodes
+        )
+
+    nodes = args.node if args.node else [int(n) for n in bundle.test_nodes[:5]]
+    for node in nodes:
+        if node < 0 or node >= bundle.graph.num_nodes or bundle.graph.labels[node] < 0:
+            print(f"error: node {node} is not a labeled transaction", file=sys.stderr)
+            return 2
+
+    with ScoringService(
+        model,
+        bundle.graph,
+        config=ServiceConfig(deadline_s=args.deadline_ms / 1000.0),
+    ) as service:
+        for node in nodes:
+            response = service.score(ScoreRequest(node=node))
+            print(
+                f"node {response.node:6d}: score={response.score:.4f} "
+                f"verdict={response.verdict:5s} rung={response.rung} "
+                f"latency={response.latency_s * 1000:.2f}ms"
+            )
+        print()
+        print(service.stats.describe())
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serving import run_demo
+
+    if not args.demo:
+        print(
+            "error: only the deterministic demo is implemented; pass --demo",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"replaying scripted incident: {args.requests} requests + burst of "
+        f"{args.burst} on a simulated clock (seed={args.seed}) ..."
+    )
+    result = run_demo(
+        seed=args.seed,
+        scale=args.scale,
+        epochs=args.epochs,
+        requests=args.requests,
+        burst=args.burst,
+    )
+    transitions = " -> ".join(result.stats.breaker_state_path()) or "closed"
+    for response in result.responses[:8]:
+        print(
+            f"  node {response.node:6d}: verdict={response.verdict:5s} "
+            f"rung={response.rung:5s} "
+            f"degraded={response.degraded_reason or '-'}"
+        )
+    print("  ...")
+    print()
+    print(result.stats.describe())
+    print(f"\nbreaker journey : {transitions}")
+    print(f"shed with verdict: {len(result.shed_responses)} (all rung=prior)")
+    return 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "explain": _cmd_explain,
     "pipeline": _cmd_pipeline,
+    "score": _cmd_score,
+    "serve": _cmd_serve,
 }
 
 

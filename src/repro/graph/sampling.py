@@ -53,12 +53,22 @@ class SageSampler:
         self.fanout = fanout
         self.rng = np.random.default_rng(seed)
 
-    def sample(self, graph: HeteroGraph, targets: Sequence[int]) -> SampledSubgraph:
-        """k-hop capped neighbourhood of the targets as a subgraph."""
+    def sample(
+        self, graph: HeteroGraph, targets: Sequence[int], deadline=None
+    ) -> SampledSubgraph:
+        """k-hop capped neighbourhood of the targets as a subgraph.
+
+        ``deadline`` is an optional duck-typed budget (anything with a
+        ``check(stage)`` method, e.g. :class:`repro.serving.Deadline`);
+        it is checked once per hop, so an online request overruns its
+        budget by at most one sampling step.
+        """
         targets = np.asarray(targets, dtype=np.int64)
         visited: Dict[int, None] = {int(t): None for t in targets}
         frontier = list(visited.keys())
-        for _ in range(self.hops):
+        for hop in range(self.hops):
+            if deadline is not None:
+                deadline.check(f"sampling hop {hop}")
             next_frontier: List[int] = []
             for node in frontier:
                 neighbors = graph.in_neighbors(node)
@@ -92,8 +102,14 @@ class HGSampler:
         self.width = width
         self.rng = np.random.default_rng(seed)
 
-    def sample(self, graph: HeteroGraph, targets: Sequence[int]) -> SampledSubgraph:
-        """Type-balanced budget sampling around the targets (HGT)."""
+    def sample(
+        self, graph: HeteroGraph, targets: Sequence[int], deadline=None
+    ) -> SampledSubgraph:
+        """Type-balanced budget sampling around the targets (HGT).
+
+        ``deadline`` (optional, duck-typed — see
+        :meth:`SageSampler.sample`) is checked once per depth step.
+        """
         targets = np.asarray(targets, dtype=np.int64)
         degree = np.maximum(graph.degree(), 1)
         sampled: Dict[int, None] = {int(t): None for t in targets}
@@ -111,7 +127,9 @@ class HGSampler:
         for target in sampled:
             add_to_budget(target)
 
-        for _ in range(self.depth):
+        for step in range(self.depth):
+            if deadline is not None:
+                deadline.check(f"sampling step {step}")
             newly_sampled: List[int] = []
             for type_budget in budgets:
                 if not type_budget:

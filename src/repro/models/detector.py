@@ -167,9 +167,17 @@ class XFraudDetectorPlus(XFraudDetector):
         super().__init__(config)
         self.sampler = SageSampler(hops=hops, fanout=fanout, seed=config.seed)
 
-    def predict_proba_sampled(self, graph: HeteroGraph, targets: Sequence[int]) -> np.ndarray:
-        """Sample the neighbourhood first, then score (production path)."""
-        sampled = self.sampler.sample(graph, targets)
+    def predict_proba_sampled(
+        self, graph: HeteroGraph, targets: Sequence[int], deadline=None
+    ) -> np.ndarray:
+        """Sample the neighbourhood first, then score (production path).
+
+        ``deadline`` is an optional duck-typed latency budget
+        (:class:`repro.serving.Deadline`) propagated into the sampler;
+        the online :class:`~repro.serving.service.ScoringService` uses
+        it to bound how long a request can spend in this path.
+        """
+        sampled = self.sampler.sample(graph, targets, deadline=deadline)
         return self.predict_proba(sampled.graph, sampled.target_local)
 
 
@@ -185,7 +193,9 @@ class XFraudDetectorHGT(XFraudDetector):
         super().__init__(config)
         self.sampler = HGSampler(depth=depth, width=width, seed=config.seed)
 
-    def predict_proba_sampled(self, graph: HeteroGraph, targets: Sequence[int]) -> np.ndarray:
+    def predict_proba_sampled(
+        self, graph: HeteroGraph, targets: Sequence[int], deadline=None
+    ) -> np.ndarray:
         """HGSampling-then-score inference path (the Figure-10 subject)."""
-        sampled = self.sampler.sample(graph, targets)
+        sampled = self.sampler.sample(graph, targets, deadline=deadline)
         return self.predict_proba(sampled.graph, sampled.target_local)

@@ -15,7 +15,14 @@ from .checkpoint import (
     collect_rng_states,
     restore_rng_states,
 )
-from .faults import FaultEvent, FaultPlan, FlakyKVStore
+from .faults import (
+    FaultEvent,
+    FaultPlan,
+    FlakyKVStore,
+    ManualClock,
+    OutageKVStore,
+    SlowKVStore,
+)
 from .retry import RetryPolicy, RetryingKVStore, TransientReadError, retry_call
 
 __all__ = [
@@ -28,6 +35,9 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "FlakyKVStore",
+    "ManualClock",
+    "OutageKVStore",
+    "SlowKVStore",
     "RetryPolicy",
     "RetryingKVStore",
     "TransientReadError",

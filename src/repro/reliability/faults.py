@@ -13,12 +13,40 @@ next, with every event recorded in the epoch history.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..storage.kvstore import KVStore
 from .retry import TransientReadError
+
+
+class ManualClock:
+    """A hand-advanced monotonic clock for deterministic chaos tests.
+
+    Drop-in for ``time.monotonic`` wherever a ``clock=`` parameter is
+    accepted (deadlines, token buckets, circuit breakers): calling the
+    instance returns the current simulated time, :meth:`advance` moves
+    it forward. Sharing one clock between a scripted-latency store and
+    a :class:`~repro.serving.deadline.Deadline` lets a test burn a
+    request's budget one simulated read at a time.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        self.now += float(seconds)
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        """``time.sleep`` stand-in: advancing instead of blocking."""
+        self.advance(seconds)
 
 CRASH = "crash"
 STRAGGLER = "straggler"
@@ -129,6 +157,100 @@ class FlakyKVStore(KVStore):
         if self.fail_rate and float(self._rng.random()) < self.fail_rate:
             self.injected += 1
             raise TransientReadError(f"injected random fault for {key!r}")
+        return self.store.get(key)
+
+    def put(self, key: str, value: bytes) -> None:
+        self.store.put(key, value)
+
+    def contains(self, key: str) -> bool:
+        return self.store.contains(key)
+
+    def keys(self) -> List[str]:
+        return self.store.keys()
+
+    def close(self) -> None:
+        self.store.close()
+
+
+class OutageKVStore(KVStore):
+    """Script a total KV outage over read-index or clock windows.
+
+    Without a ``clock``, reads are numbered globally (0-based, counting
+    every ``get`` including failed ones) and a read whose index falls
+    in any half-open ``[start, stop)`` window raises
+    :class:`TransientReadError`. With a ``clock`` (e.g.
+    :class:`ManualClock`), windows are in *seconds on that clock* —
+    the natural scripting unit when a circuit breaker sits in front,
+    since an open breaker stops reads and would otherwise freeze a
+    read-counted outage forever.
+
+    Either way this is the deterministic shape of a store that goes
+    *down* — every read fails for a stretch — which is what trips a
+    breaker, as opposed to :class:`FlakyKVStore`'s per-key transient
+    blips that retries absorb.
+    """
+
+    def __init__(
+        self,
+        store: KVStore,
+        windows: Sequence[Tuple[float, float]] = (),
+        clock: Optional[ManualClock] = None,
+    ) -> None:
+        for start, stop in windows:
+            if start < 0 or stop < start:
+                raise ValueError(f"bad outage window ({start}, {stop})")
+        self.store = store
+        self.windows = [(float(start), float(stop)) for start, stop in windows]
+        self.clock = clock
+        self.reads = 0
+        self.injected = 0
+
+    def _down(self, position: float) -> bool:
+        return any(start <= position < stop for start, stop in self.windows)
+
+    def get(self, key: str) -> bytes:
+        index = self.reads
+        self.reads += 1
+        position = float(self.clock()) if self.clock is not None else float(index)
+        if self._down(position):
+            self.injected += 1
+            raise TransientReadError(
+                f"scripted outage at {'t=' if self.clock else 'read #'}{position:g} "
+                f"reading {key!r}"
+            )
+        return self.store.get(key)
+
+    def put(self, key: str, value: bytes) -> None:
+        self.store.put(key, value)
+
+    def contains(self, key: str) -> bool:
+        return self.store.contains(key)
+
+    def keys(self) -> List[str]:
+        return self.store.keys()
+
+    def close(self) -> None:
+        self.store.close()
+
+
+class SlowKVStore(KVStore):
+    """A straggling store: each read advances a :class:`ManualClock`.
+
+    Simulated latency, not real sleeping — the shared clock is also
+    what the request's deadline watches, so a test can script "feature
+    reads take 2ms each against a 10ms budget" and observe the deadline
+    machinery fire deterministically.
+    """
+
+    def __init__(self, store: KVStore, clock: ManualClock, delay_s: float = 0.001) -> None:
+        if delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+        self.store = store
+        self.clock = clock
+        self.delay_s = float(delay_s)
+
+    def get(self, key: str) -> bytes:
+        self.clock.advance(self.delay_s)
         return self.store.get(key)
 
     def put(self, key: str, value: bytes) -> None:

@@ -63,6 +63,15 @@ class RetryPolicy:
         return schedule
 
 
+def _annotate(error: BaseException, note: str) -> None:
+    """Attach ``note`` to an exception: ``__notes__`` on 3.11+, args before."""
+    add_note = getattr(error, "add_note", None)
+    if callable(add_note):
+        add_note(note)
+    else:  # Python < 3.11: notes surface through the args tuple instead.
+        error.args = (*error.args, note)
+
+
 def retry_call(
     fn: Callable[[], object],
     policy: Optional[RetryPolicy] = None,
@@ -74,11 +83,19 @@ def retry_call(
 
     Only exceptions in ``retry_on`` are retried; anything else (e.g.
     ``KeyError`` for a genuinely missing key) propagates immediately.
-    After the final attempt the last error is re-raised unchanged.
+    ``sleep`` is injectable so tests (and simulated-clock serving) can
+    assert the backoff schedule without real delays.
+
+    After the final attempt the last error is re-raised with the retry
+    history attached: ``retry_attempts`` / ``retry_backoff_s``
+    attributes plus a note (``__notes__`` on 3.11+, appended to
+    ``args`` on older interpreters) summarising attempts and total
+    backoff slept.
     """
     policy = policy or RetryPolicy()
     schedule = policy.delays()
     last: Optional[BaseException] = None
+    slept = 0.0
     for attempt in range(policy.max_attempts):
         try:
             return fn()
@@ -89,7 +106,15 @@ def retry_call(
                 if on_retry is not None:
                     on_retry(attempt, error, delay)
                 sleep(delay)
+                slept += delay
     assert last is not None
+    last.retry_attempts = policy.max_attempts
+    last.retry_backoff_s = slept
+    _annotate(
+        last,
+        f"retry_call: {policy.max_attempts} attempts exhausted "
+        f"({slept:.4f}s total backoff)",
+    )
     raise last
 
 

@@ -1,0 +1,68 @@
+"""repro.serving — the fault-tolerant online scoring service.
+
+The paper's xFraud is a *deployed* detector: scores must come back
+while the transaction is in flight, under heavy traffic, over a
+KV-store that sometimes fails (Sec. 3.3, Appendix H.5). This package
+supplies that online path:
+
+* :class:`Deadline` — per-request monotonic-clock latency budgets,
+  propagated through sampling and feature fetch;
+* :class:`TokenBucket` / :class:`AdmissionQueue` — admission control
+  that sheds overload with a verdict instead of blocking;
+* :class:`CircuitBreaker` — closed/open/half-open protection around
+  KV feature reads, with retries composed *inside* the breaker;
+* :class:`ScoringService` — the three-rung degradation ladder
+  (GNN → rules → static prior), every response tagged with its rung;
+* :class:`ServiceStats` — admitted/shed/degraded/breaker counters and
+  p50/p95/p99 latency.
+"""
+
+from .admission import SHED_QUEUE_FULL, SHED_RATE_LIMITED, AdmissionQueue, TokenBucket
+from .breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerTransition,
+    CircuitBreaker,
+    CircuitOpenError,
+)
+from .deadline import Deadline, DeadlineExceeded
+from .demo import DemoResult, build_demo_service, run_demo
+from .service import (
+    RUNG_GNN,
+    RUNG_PRIOR,
+    RUNG_RULES,
+    FeatureFetchError,
+    ScoreRequest,
+    ScoreResponse,
+    ScoringService,
+    ServiceConfig,
+)
+from .stats import ServiceStats
+
+__all__ = [
+    "AdmissionQueue",
+    "TokenBucket",
+    "SHED_QUEUE_FULL",
+    "SHED_RATE_LIMITED",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "BreakerTransition",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "Deadline",
+    "DeadlineExceeded",
+    "ScoringService",
+    "ServiceConfig",
+    "ScoreRequest",
+    "ScoreResponse",
+    "FeatureFetchError",
+    "RUNG_GNN",
+    "RUNG_RULES",
+    "RUNG_PRIOR",
+    "ServiceStats",
+    "DemoResult",
+    "build_demo_service",
+    "run_demo",
+]

@@ -1,0 +1,120 @@
+"""Observability counters for the online scoring service.
+
+One :class:`ServiceStats` block per service instance: admission
+outcomes, per-rung response counts, breaker transitions, retry /
+deadline / KV-failure tallies, and end-to-end latency percentiles via
+the shared :func:`~repro.train.metrics.latency_percentiles` helper.
+
+Everything here is plain counters and lists — cheap enough to update
+on every request — and :meth:`snapshot` / :meth:`describe` render the
+block the ``repro serve`` CLI prints after a run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from ..train.metrics import latency_percentiles, roc_auc
+
+
+class ServiceStats:
+    """Mutable counter block for one :class:`~repro.serving.service.ScoringService`."""
+
+    def __init__(self) -> None:
+        self.received = 0
+        self.admitted = 0
+        self.completed = 0
+        self.shed: Counter = Counter()  # shed reason -> count
+        self.rungs: Counter = Counter()  # "gnn" | "rules" | "prior" -> count
+        self.degraded_reasons: Counter = Counter()
+        self.deadline_hits = 0
+        self.kv_failures = 0
+        self.kv_retries = 0
+        self.breaker_transitions: List[Tuple[str, str]] = []
+        self.latencies_s: List[float] = []
+        self._outcomes: List[Tuple[int, float]] = []  # (label, score)
+
+    # -- recording ------------------------------------------------------
+    def record_admitted(self) -> None:
+        self.received += 1
+        self.admitted += 1
+
+    def record_shed(self, reason: str) -> None:
+        self.received += 1
+        self.shed[reason] += 1
+
+    def record_response(self, rung: str, latency_s: float, degraded_reason: Optional[str] = None) -> None:
+        self.completed += 1
+        self.rungs[rung] += 1
+        self.latencies_s.append(float(latency_s))
+        if degraded_reason:
+            self.degraded_reasons[degraded_reason] += 1
+
+    def record_breaker_transition(self, from_state: str, to_state: str) -> None:
+        self.breaker_transitions.append((from_state, to_state))
+
+    def record_outcome(self, label: int, score: float) -> None:
+        """Optionally track (truth, score) pairs for online AUC."""
+        self._outcomes.append((int(label), float(score)))
+
+    # -- reporting ------------------------------------------------------
+    @property
+    def total_shed(self) -> int:
+        return sum(self.shed.values())
+
+    def latency_summary(self) -> Dict[str, float]:
+        return latency_percentiles(self.latencies_s)
+
+    def auc(self) -> float:
+        """Online AUC over recorded outcomes.
+
+        NaN — not an exception — when the window is empty or
+        single-class (a shed-heavy or all-benign degraded window).
+        """
+        if not self._outcomes:
+            return float("nan")
+        labels = [label for label, _ in self._outcomes]
+        scores = [score for _, score in self._outcomes]
+        return roc_auc(labels, scores, default=float("nan"))
+
+    def breaker_state_path(self) -> Tuple[str, ...]:
+        """Visited breaker states in order (leading with "closed")."""
+        if not self.breaker_transitions:
+            return ()
+        return (self.breaker_transitions[0][0],) + tuple(t for _, t in self.breaker_transitions)
+
+    def snapshot(self) -> Dict[str, object]:
+        latency = self.latency_summary()
+        return {
+            "received": self.received,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "shed": dict(self.shed),
+            "rungs": dict(self.rungs),
+            "degraded_reasons": dict(self.degraded_reasons),
+            "deadline_hits": self.deadline_hits,
+            "kv_failures": self.kv_failures,
+            "kv_retries": self.kv_retries,
+            "breaker_transitions": list(self.breaker_transitions),
+            "latency_s": latency,
+            "auc": self.auc(),
+        }
+
+    def describe(self) -> str:
+        """Human-readable counter block (the ``repro serve`` epilogue)."""
+        latency = self.latency_summary()
+        shed = ", ".join(f"{k}={v}" for k, v in sorted(self.shed.items())) or "none"
+        rungs = ", ".join(f"{k}={v}" for k, v in sorted(self.rungs.items())) or "none"
+        path = " -> ".join(self.breaker_state_path()) or "closed (no transitions)"
+        lines = [
+            f"requests      : {self.received} received, {self.admitted} admitted, "
+            f"{self.total_shed} shed ({shed})",
+            f"responses     : {self.completed} completed; rungs: {rungs}",
+            f"degradations  : deadline_hits={self.deadline_hits} "
+            f"kv_failures={self.kv_failures} kv_retries={self.kv_retries}",
+            f"breaker       : {path}",
+            f"latency (s)   : p50={latency['p50']:.6f} p95={latency['p95']:.6f} "
+            f"p99={latency['p99']:.6f}",
+        ]
+        return "\n".join(lines)

@@ -148,6 +148,12 @@ class _MmapReader:
             self._map.close()
         self._file.close()
 
+    def __enter__(self) -> "_MmapReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
 
 def _read_index(path: str) -> Tuple[Dict[str, Tuple[int, int, int]], int]:
     """Validate the footer of a finalized store; return (index, data_length).

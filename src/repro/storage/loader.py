@@ -97,3 +97,9 @@ class WorkerLoader:
         if self._reader is not None:
             self._reader.close()
             self._reader = None
+
+    def __enter__(self) -> "WorkerLoader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -12,6 +12,7 @@ from .metrics import (
     accuracy,
     average_precision,
     confusion_rates,
+    latency_percentiles,
     partial_roc_auc,
     precision_recall_curve,
     project_precision_to_stream,
@@ -34,6 +35,7 @@ __all__ = [
     "make_worker_partitions",
     "roc_auc",
     "roc_curve",
+    "latency_percentiles",
     "partial_roc_auc",
     "precision_recall_curve",
     "average_precision",

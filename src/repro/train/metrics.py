@@ -53,16 +53,45 @@ def roc_curve(labels: Sequence[int], scores: Sequence[float]) -> Tuple[np.ndarra
     )
 
 
-def roc_auc(labels: Sequence[int], scores: Sequence[float]) -> float:
+# Sentinel distinguishing "no default given" from default=None.
+_RAISE = object()
+
+
+def roc_auc(labels: Sequence[int], scores: Sequence[float], default=_RAISE):
     """Area under the ROC curve via the trapezoid rule.
 
-    Raises ValueError when only one class is present (AUC undefined).
+    AUC is undefined when only one class is present. By default that
+    raises ValueError; pass ``default=`` (e.g. ``float("nan")`` or
+    ``None``) to get that value back instead — essential for serving
+    stats and benchmarks, where a degraded-traffic window can easily be
+    all-benign and must not crash metric reporting.
     """
     labels, scores = _validate(np.asarray(labels), np.asarray(scores))
     if labels.min() == labels.max():
-        raise ValueError("AUC needs both classes present")
+        if default is _RAISE:
+            raise ValueError("AUC needs both classes present")
+        return default
     fpr, tpr, _ = roc_curve(labels, scores)
     return float(np.trapezoid(tpr, fpr))
+
+
+def latency_percentiles(
+    samples: Sequence[float],
+    percentiles: Sequence[float] = (50.0, 95.0, 99.0),
+) -> Dict[str, float]:
+    """Latency summary as ``{"p50": ..., "p95": ..., "p99": ...}``.
+
+    The shared helper behind ``ServiceStats`` and ``Trainer`` epoch
+    timing (tail latency, not just the mean, is what an online scorer
+    is judged on). Empty input yields NaNs rather than raising so a
+    zero-traffic window still reports.
+    """
+    keys = [f"p{percentile:g}" for percentile in percentiles]
+    samples = np.asarray(list(samples), dtype=np.float64)
+    if samples.size == 0:
+        return {key: float("nan") for key in keys}
+    values = np.percentile(samples, list(percentiles))
+    return {key: float(value) for key, value in zip(keys, values)}
 
 
 def partial_roc_auc(labels: Sequence[int], scores: Sequence[float], max_fpr: float = 0.1) -> float:

@@ -24,7 +24,7 @@ from ..reliability.checkpoint import (
     collect_rng_states,
     restore_rng_states,
 )
-from .metrics import accuracy, average_precision, roc_auc
+from .metrics import accuracy, average_precision, latency_percentiles, roc_auc
 
 
 @dataclass
@@ -63,6 +63,10 @@ class TrainResult:
         if not self.history:
             return 0.0
         return float(np.mean([record.seconds for record in self.history]))
+
+    def epoch_time_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 of per-epoch wall time (tail, not just the mean)."""
+        return latency_percentiles([record.seconds for record in self.history])
 
 
 class Trainer:
@@ -181,10 +185,7 @@ class Trainer:
             if eval_nodes is not None and len(eval_nodes):
                 scores = self.model.predict_proba(graph, eval_nodes)
                 labels = graph.labels[np.asarray(eval_nodes, dtype=np.int64)]
-                try:
-                    record.eval_auc = roc_auc(labels, scores)
-                except ValueError:
-                    record.eval_auc = None
+                record.eval_auc = roc_auc(labels, scores, default=None)
                 if record.eval_auc is not None and record.eval_auc > result.best_auc:
                     result.best_auc = record.eval_auc
                     best_state = self.model.state_dict()
@@ -205,15 +206,11 @@ class Trainer:
         nodes = np.asarray(nodes, dtype=np.int64)
         scores = self.model.predict_proba(graph, nodes)
         labels = graph.labels[nodes]
-        metrics = {
+        return {
             "accuracy": accuracy(labels, scores),
             "ap": average_precision(labels, scores),
+            "auc": roc_auc(labels, scores, default=float("nan")),
         }
-        try:
-            metrics["auc"] = roc_auc(labels, scores)
-        except ValueError:
-            metrics["auc"] = float("nan")
-        return metrics
 
 
 def measure_inference_time(
@@ -239,9 +236,11 @@ def measure_inference_time(
         else:
             model.predict_proba(graph, batch)
         times.append(time.perf_counter() - started)
-    return {
+    summary = {
         "mean_s_per_batch": float(np.mean(times)),
         "std_s_per_batch": float(np.std(times)),
         "total_s": float(np.sum(times)),
         "batches": len(times),
     }
+    summary.update(latency_percentiles(times))
+    return summary

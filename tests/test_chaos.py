@@ -1,0 +1,237 @@
+"""Chaos scenarios: the degradation ladder under scripted faults.
+
+Proves the PR-3 acceptance criteria end to end on a simulated clock:
+
+* a scripted KV outage trips the breaker, requests fail over to the
+  rules rung, half-open probes recover, and the full
+  closed -> open -> half-open -> closed journey is visible in
+  ``ServiceStats``;
+* every admitted request gets a verdict — the ladder never raises;
+* deadline expiry mid-sampling or mid-fetch produces a *degraded
+  verdict*, and no request overruns its budget by more than one
+  pipeline step (a sampling hop or one feature-fetch chunk).
+"""
+
+import numpy as np
+import pytest
+
+from repro.reliability import ManualClock, OutageKVStore, RetryPolicy, SlowKVStore
+from repro.rules.miner import MinerConfig, RuleMiner
+from repro.serving import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    RUNG_GNN,
+    RUNG_PRIOR,
+    RUNG_RULES,
+    ScoreRequest,
+    ScoringService,
+    ServiceConfig,
+)
+from repro.storage import GraphStore, InMemoryKVStore
+
+READ_DELAY_S = 0.002
+FETCH_CHUNK = 8
+
+
+@pytest.fixture(scope="module")
+def chaos_rules(tiny_log):
+    rules = RuleMiner(MinerConfig(seed=0)).fit(
+        tiny_log.feature_matrix(), tiny_log.labels()
+    )
+    assert len(rules) >= 1
+    return rules
+
+
+def _chaos_service(
+    trained_detector,
+    tiny_graph,
+    rules,
+    outage_window,
+    deadline_s=0.5,
+    read_delay_s=READ_DELAY_S,
+):
+    """KV-backed service over a scripted outage on a shared manual clock."""
+    backing = InMemoryKVStore()
+    GraphStore(backing).save(tiny_graph)
+    clock = ManualClock()
+    store = SlowKVStore(
+        OutageKVStore(backing, windows=[outage_window], clock=clock),
+        clock,
+        delay_s=read_delay_s,
+    )
+    config = ServiceConfig(
+        deadline_s=deadline_s,
+        fetch_chunk=FETCH_CHUNK,
+        breaker_min_calls=2,
+        breaker_window=4,
+        breaker_cooldown_s=0.05,
+        breaker_half_open_probes=1,
+        retry=RetryPolicy(max_attempts=2, base_delay=0.001, seed=0),
+        static_prior=0.05,
+    )
+    service = ScoringService(
+        trained_detector,
+        tiny_graph,
+        feature_store=store,
+        rules=rules,
+        config=config,
+        clock=clock,
+        own_store=True,
+    )
+    return service, clock
+
+
+def _requests(graph, count):
+    nodes = np.flatnonzero(graph.labels >= 0)[:count]
+    return [
+        ScoreRequest(node=int(node), features=graph.txn_features[int(node)])
+        for node in nodes
+    ]
+
+
+def _budget_overrun_bound(config, read_delay_s=READ_DELAY_S):
+    """One pipeline step: a full fetch chunk, or a failed retry cycle."""
+    retry_cost = config.retry.max_attempts * read_delay_s + sum(config.retry.delays())
+    return max(config.fetch_chunk * read_delay_s, retry_cost) + 1e-9
+
+
+class TestOutageLadder:
+    def test_outage_trips_breaker_rules_serve_and_probes_recover(
+        self, trained_detector, tiny_graph, chaos_rules
+    ):
+        service, clock = _chaos_service(
+            trained_detector, tiny_graph, chaos_rules, outage_window=(0.15, 0.45)
+        )
+        with service:
+            requests = _requests(tiny_graph, 30)
+            responses = []
+            for request in requests:
+                responses.append(service.score(request))
+                clock.advance(0.02)
+
+            # 100% of admitted requests got a verdict, none raised.
+            assert len(responses) == len(requests)
+            assert all(r.admitted for r in responses)
+            assert all(r.verdict in ("fraud", "legit") for r in responses)
+
+            rungs = {r.rung for r in responses}
+            assert RUNG_GNN in rungs  # healthy before and after the outage
+            assert RUNG_RULES in rungs  # degraded during the outage
+
+            # The breaker journey is observable in ServiceStats.
+            path = service.stats.breaker_state_path()
+            assert path[0] == CLOSED
+            assert OPEN in path
+            assert HALF_OPEN in path
+            assert path[-1] == CLOSED  # recovered
+            assert service.stats.breaker_transitions  # mirrored transitions
+            assert service.breaker.state == CLOSED
+
+            # Degradations carry reasons, and some were breaker shortcuts
+            # (instant fail-over, no doomed KV reads).
+            reasons = {r.degraded_reason for r in responses if r.degraded_reason}
+            assert "kv_unavailable" in reasons
+            assert "breaker_open" in reasons
+
+            # After recovery the last responses ride the GNN rung again.
+            assert responses[-1].rung == RUNG_GNN
+
+    def test_prior_rung_serves_shed_burst_with_verdicts(
+        self, trained_detector, tiny_graph, chaos_rules
+    ):
+        service, clock = _chaos_service(
+            trained_detector, tiny_graph, chaos_rules, outage_window=(0.15, 0.45)
+        )
+        with service:
+            # Ladder bottom: a queue-busting burst is shed *with verdicts*.
+            burst = _requests(tiny_graph, service.config.queue_capacity + 6)
+            shed = [service.submit(request) for request in burst]
+            rejected = [s for s in shed if s is not None]
+            assert len(rejected) == 6
+            assert all(r.rung == RUNG_PRIOR for r in rejected)
+            assert all(r.verdict in ("fraud", "legit") for r in rejected)
+            drained = service.drain()
+            assert len(drained) == service.config.queue_capacity
+
+            # Every request that entered the system left with a verdict.
+            assert service.stats.received == len(burst)
+            assert service.stats.completed + service.stats.total_shed == len(burst)
+
+    def test_no_request_overruns_deadline_by_more_than_one_step(
+        self, trained_detector, tiny_graph, chaos_rules
+    ):
+        budget = 0.01  # tighter than one fetch chunk: burns out mid-fetch
+        service, clock = _chaos_service(
+            trained_detector,
+            tiny_graph,
+            chaos_rules,
+            outage_window=(1e9, 2e9),  # no outage; stragglers only
+            deadline_s=budget,
+        )
+        bound = _budget_overrun_bound(service.config)
+        with service:
+            responses = []
+            for request in _requests(tiny_graph, 12):
+                responses.append(service.score(request))
+                clock.advance(0.01)
+            assert all(r.verdict in ("fraud", "legit") for r in responses)
+            # Tight budgets force deadline degradations...
+            degraded = [r for r in responses if r.rung != RUNG_GNN]
+            assert degraded
+            assert service.stats.deadline_hits > 0
+            assert any(
+                (r.degraded_reason or "").startswith("deadline:") for r in degraded
+            )
+            # ...and nobody overruns by more than one pipeline step.
+            for response in responses:
+                assert response.latency_s <= budget + bound
+
+
+class TestDeadlineMidSampling:
+    def test_degraded_verdict_never_exception(
+        self, trained_detector, tiny_graph, chaos_rules
+    ):
+        class AutoTickClock(ManualClock):
+            """Every reading costs time: expires budgets inside sampling."""
+
+            def __init__(self, tick):
+                super().__init__()
+                self.tick = tick
+
+            def __call__(self):
+                self.now += self.tick
+                return self.now
+
+        clock = AutoTickClock(tick=0.03)
+        config = ServiceConfig(deadline_s=0.05, static_prior=0.05)
+        service = ScoringService(
+            trained_detector,
+            tiny_graph,
+            rules=chaos_rules,
+            config=config,
+            clock=clock,
+        )
+        node = int(np.flatnonzero(tiny_graph.labels >= 0)[0])
+        request = ScoreRequest(node=node, features=tiny_graph.txn_features[node])
+        response = service.score(request)  # must not raise
+        assert response.admitted
+        assert response.rung in (RUNG_RULES, RUNG_PRIOR)
+        assert response.degraded_reason.startswith("deadline:")
+        assert "sampling" in response.degraded_reason or "admission" in response.degraded_reason
+        assert service.stats.deadline_hits == 1
+
+    def test_sampler_deadline_is_checked_per_hop(self, tiny_graph):
+        from repro.graph.sampling import SageSampler
+        from repro.serving import Deadline, DeadlineExceeded
+
+        clock = ManualClock()
+        sampler = SageSampler(hops=3, fanout=4, seed=0)
+        deadline = Deadline(0.01, clock=clock)
+        clock.advance(0.02)  # already expired before the first hop
+        node = int(np.flatnonzero(tiny_graph.labels >= 0)[0])
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            sampler.sample(tiny_graph, [node], deadline=deadline)
+        assert excinfo.value.stage == "sampling hop 0"
+        # Without a deadline the same call succeeds (offline path intact).
+        assert sampler.sample(tiny_graph, [node]).num_targets == 1

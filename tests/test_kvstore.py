@@ -362,3 +362,33 @@ class TestWorkerLoader:
         loader = WorkerLoader(kv, private_handle=False)
         rows = loader.load_features([0])
         np.testing.assert_allclose(rows, tiny_graph.txn_features[[0]])
+
+
+class TestContextManagers:
+    def test_mmap_store_write_context(self, tmp_path):
+        path = str(tmp_path / "kv.bin")
+        with MmapKVStore(path) as store:
+            store.put("k", b"value")
+            store.finalize()
+        with MmapKVStore.open(path) as reopened:
+            assert reopened.get("k") == b"value"
+
+    def test_inmemory_store_context(self):
+        with InMemoryKVStore() as store:
+            store.put("k", b"v")
+            assert store.get("k") == b"v"
+
+    def test_worker_loader_context_closes_private_handle(self, tiny_graph, tmp_path):
+        kv = MmapKVStore(str(tmp_path / "g.bin"))
+        GraphStore(kv).save(tiny_graph)
+        with WorkerLoader(kv, private_handle=True) as loader:
+            rows = loader.load_features([1, 3])
+            np.testing.assert_allclose(rows, tiny_graph.txn_features[[1, 3]])
+
+    def test_retrying_store_context(self):
+        from repro.reliability import RetryingKVStore
+
+        backing = InMemoryKVStore()
+        backing.put("k", b"v")
+        with RetryingKVStore(backing) as store:
+            assert store.get("k") == b"v"

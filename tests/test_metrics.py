@@ -179,3 +179,48 @@ class TestValidation:
     def test_shape_mismatch(self):
         with pytest.raises(ValueError):
             roc_auc(np.array([0, 1]), np.array([0.1]))
+
+
+class TestAUCDefault:
+    def test_single_class_returns_default_when_given(self):
+        assert np.isnan(roc_auc(np.ones(4, dtype=int), np.random.rand(4), default=float("nan")))
+        assert roc_auc(np.zeros(3, dtype=int), np.random.rand(3), default=None) is None
+
+    def test_default_untouched_when_defined(self):
+        assert roc_auc(LABELS, SCORES, default=None) == pytest.approx(1.0)
+
+    def test_validation_errors_still_raise_with_default(self):
+        # default= is a single-class escape hatch, not a blanket silencer.
+        with pytest.raises(ValueError):
+            roc_auc(np.array([]), np.array([]), default=0.5)
+        with pytest.raises(ValueError):
+            roc_auc(np.array([0, 2]), np.array([0.1, 0.2]), default=0.5)
+
+
+class TestLatencyPercentiles:
+    def test_default_keys_and_ordering(self):
+        from repro.train.metrics import latency_percentiles
+
+        summary = latency_percentiles(np.linspace(0.001, 0.1, 200))
+        assert set(summary) == {"p50", "p95", "p99"}
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+        assert summary["p50"] == pytest.approx(np.percentile(np.linspace(0.001, 0.1, 200), 50))
+
+    def test_custom_percentiles(self):
+        from repro.train.metrics import latency_percentiles
+
+        summary = latency_percentiles([1.0, 2.0, 3.0], percentiles=(0.0, 100.0))
+        assert summary == {"p0": 1.0, "p100": 3.0}
+
+    def test_empty_input_yields_nans(self):
+        from repro.train.metrics import latency_percentiles
+
+        summary = latency_percentiles([])
+        assert set(summary) == {"p50", "p95", "p99"}
+        assert all(np.isnan(v) for v in summary.values())
+
+    def test_single_sample(self):
+        from repro.train.metrics import latency_percentiles
+
+        summary = latency_percentiles([0.25])
+        assert all(v == pytest.approx(0.25) for v in summary.values())

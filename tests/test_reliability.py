@@ -346,3 +346,90 @@ class TestFaultPlan:
         for epoch in range(4):
             crashed = [w for w, k in plan.epoch_faults(epoch).items() if k == "crash"]
             assert len(crashed) <= 2
+
+
+class TestRetryInstrumentation:
+    def test_exhausted_error_carries_backoff_history(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0, seed=0)
+        slept = []
+        with pytest.raises(TransientReadError) as excinfo:
+            retry_call(
+                lambda: (_ for _ in ()).throw(TransientReadError("down")),
+                policy,
+                sleep=slept.append,
+            )
+        error = excinfo.value
+        assert error.retry_attempts == 3
+        assert error.retry_backoff_s == pytest.approx(sum(slept))
+        note = f"retry_call: 3 attempts exhausted ({sum(slept):.4f}s total backoff)"
+        notes = getattr(error, "__notes__", None) or error.args
+        assert any(note == str(entry) for entry in notes)
+
+    def test_injected_sleep_sees_exact_schedule(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.02, seed=7)
+        slept = []
+        with pytest.raises(TransientReadError):
+            retry_call(
+                lambda: (_ for _ in ()).throw(TransientReadError("down")),
+                policy,
+                sleep=slept.append,
+            )
+        assert slept == policy.delays()
+
+
+class TestManualClock:
+    def test_advance_and_sleep_move_time(self):
+        from repro.reliability import ManualClock
+
+        clock = ManualClock()
+        assert clock() == 0.0
+        clock.advance(1.5)
+        clock.sleep(0.5)
+        assert clock() == pytest.approx(2.0)
+
+    def test_negative_advance_rejected(self):
+        from repro.reliability import ManualClock
+
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1.0)
+
+
+class TestOutageKVStore:
+    def _backing(self):
+        backing = InMemoryKVStore()
+        backing.put("k", b"value")
+        return backing
+
+    def test_read_index_window(self):
+        from repro.reliability import OutageKVStore
+
+        store = OutageKVStore(self._backing(), windows=[(1, 3)])
+        assert store.get("k") == b"value"  # read 0: before the window
+        for _ in range(2):  # reads 1-2: inside
+            with pytest.raises(TransientReadError):
+                store.get("k")
+        assert store.get("k") == b"value"  # read 3: after
+        assert store.injected == 2
+        assert store.reads == 4
+
+    def test_clock_window(self):
+        from repro.reliability import ManualClock, OutageKVStore
+
+        clock = ManualClock()
+        store = OutageKVStore(self._backing(), windows=[(0.5, 1.0)], clock=clock)
+        assert store.get("k") == b"value"
+        clock.advance(0.7)  # inside the outage
+        with pytest.raises(TransientReadError):
+            store.get("k")
+        clock.advance(0.5)  # past it: recovered
+        assert store.get("k") == b"value"
+        assert store.injected == 1
+
+    def test_slow_store_burns_simulated_time(self):
+        from repro.reliability import ManualClock, SlowKVStore
+
+        clock = ManualClock()
+        store = SlowKVStore(self._backing(), clock, delay_s=0.01)
+        for _ in range(3):
+            assert store.get("k") == b"value"
+        assert clock() == pytest.approx(0.03)
