@@ -27,7 +27,19 @@ Quickstart::
     print(trainer.evaluate(data.graph, data.test_nodes))
 """
 
-from . import data, explain, graph, models, nn, reliability, rules, serving, storage, train
+from . import (
+    data,
+    explain,
+    graph,
+    models,
+    nn,
+    obs,
+    reliability,
+    rules,
+    serving,
+    storage,
+    train,
+)
 from .data import (
     DatasetBundle,
     GeneratorConfig,
@@ -69,6 +81,7 @@ from .models import (
     XFraudDetectorHGT,
     XFraudDetectorPlus,
 )
+from .obs import MetricsRegistry, Profiler, Tracer, timed
 from .reliability import (
     CheckpointManager,
     FaultPlan,
@@ -106,6 +119,11 @@ __all__ = [
     "explain",
     "reliability",
     "serving",
+    "obs",
+    "MetricsRegistry",
+    "Tracer",
+    "timed",
+    "Profiler",
     "ScoringService",
     "ServiceConfig",
     "ServiceStats",

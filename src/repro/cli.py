@@ -109,6 +109,12 @@ def _parser() -> argparse.ArgumentParser:
         default=3,
         help="checkpoints retained under --checkpoint-dir",
     )
+    train.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a chrome://tracing JSON of the fit/epoch span tree here",
+    )
 
     evaluate = commands.add_parser("evaluate", help="evaluate a saved model")
     _add_dataset_args(evaluate)
@@ -159,6 +165,17 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replay the scripted KV-outage incident on a simulated clock",
     )
+    serve.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the Prometheus-text metrics exposition after the run",
+    )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a chrome://tracing JSON of per-request span trees here",
+    )
 
     return parser
 
@@ -195,9 +212,15 @@ def _cmd_train(args) -> int:
 
     bundle = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
     model = _build_model(args, bundle.graph.feature_dim)
+    tracer = None
+    if args.trace_out:
+        from .obs import Tracer
+
+        tracer = Tracer()
     trainer = Trainer(
         model,
         TrainConfig(epochs=args.epochs, batch_size=args.batch_size, learning_rate=args.lr),
+        tracer=tracer,
     )
     if resume_from is not None:
         print(f"resuming from {resume_from}")
@@ -222,6 +245,11 @@ def _cmd_train(args) -> int:
     if args.save:
         path = save_state(model, args.save)
         print(f"saved model state to {path}")
+    if tracer is not None:
+        from .obs import write_chrome_trace
+
+        events = write_chrome_trace(tracer.spans(), args.trace_out)
+        print(f"wrote {events} trace events to {args.trace_out} (open in chrome://tracing)")
     return 0
 
 
@@ -343,6 +371,11 @@ def _cmd_serve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    registry = None
+    if args.metrics:
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
     print(
         f"replaying scripted incident: {args.requests} requests + burst of "
         f"{args.burst} on a simulated clock (seed={args.seed}) ..."
@@ -353,6 +386,8 @@ def _cmd_serve(args) -> int:
         epochs=args.epochs,
         requests=args.requests,
         burst=args.burst,
+        registry=registry,
+        trace=bool(args.trace_out),
     )
     transitions = " -> ".join(result.stats.breaker_state_path()) or "closed"
     for response in result.responses[:8]:
@@ -366,6 +401,14 @@ def _cmd_serve(args) -> int:
     print(result.stats.describe())
     print(f"\nbreaker journey : {transitions}")
     print(f"shed with verdict: {len(result.shed_responses)} (all rung=prior)")
+    if args.trace_out:
+        from .obs import write_chrome_trace
+
+        events = write_chrome_trace(result.service.tracer.spans(), args.trace_out)
+        print(f"wrote {events} trace events to {args.trace_out} (open in chrome://tracing)")
+    if registry is not None:
+        print()
+        print(registry.render(), end="")
     return 0
 
 

@@ -20,6 +20,7 @@ the positions of the requested target nodes inside it.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
@@ -41,10 +42,63 @@ class SampledSubgraph:
         return len(self.target_local)
 
 
-class SageSampler:
+class _SamplerMetrics:
+    """Opt-in hop counters + latency histograms shared by both samplers.
+
+    ``instrument(registry)`` registers the shared metric family
+    (``sampler_hops_total``, ``sampler_hop_seconds``,
+    ``sampler_sample_seconds``, all labelled by sampler kind) against a
+    :class:`repro.obs.registry.MetricsRegistry`. Uninstrumented
+    samplers pay a single ``is None`` check per call, so the default
+    path stays as fast as before.
+    """
+
+    _metric_label: str = "sampler"
+
+    def __init__(self) -> None:
+        self._hops_total = None
+        self._hop_seconds = None
+        self._sample_seconds = None
+        self._metrics_clock = time.perf_counter
+
+    def instrument(self, registry, clock=None) -> "_SamplerMetrics":
+        """Attach hop/latency metrics; returns self for chaining."""
+        self._hops_total = registry.counter(
+            "sampler_hops_total",
+            "Neighbour-sampling hops (or budget steps) executed.",
+            labels=("sampler",),
+        )
+        self._hop_seconds = registry.histogram(
+            "sampler_hop_seconds",
+            "Latency of one sampling hop / budget step.",
+            labels=("sampler",),
+        )
+        self._sample_seconds = registry.histogram(
+            "sampler_sample_seconds",
+            "End-to-end latency of one sample() call.",
+            labels=("sampler",),
+        )
+        if clock is not None:
+            self._metrics_clock = clock
+        return self
+
+    def _record_hop(self, seconds: float) -> None:
+        if self._hops_total is not None:
+            self._hops_total.inc(sampler=self._metric_label)
+            self._hop_seconds.observe(seconds, sampler=self._metric_label)
+
+    def _record_sample(self, seconds: float) -> None:
+        if self._sample_seconds is not None:
+            self._sample_seconds.observe(seconds, sampler=self._metric_label)
+
+
+class SageSampler(_SamplerMetrics):
     """k-hop capped neighbourhood sampling (GraphSAGE style)."""
 
+    _metric_label = "sage"
+
     def __init__(self, hops: int = 2, fanout: int = 10, seed: int = 0) -> None:
+        super().__init__()
         if hops < 1:
             raise ValueError("hops must be >= 1")
         if fanout < 1:
@@ -63,12 +117,15 @@ class SageSampler:
         it is checked once per hop, so an online request overruns its
         budget by at most one sampling step.
         """
+        instrumented = self._sample_seconds is not None
+        sample_started = self._metrics_clock() if instrumented else 0.0
         targets = np.asarray(targets, dtype=np.int64)
         visited: Dict[int, None] = {int(t): None for t in targets}
         frontier = list(visited.keys())
         for hop in range(self.hops):
             if deadline is not None:
                 deadline.check(f"sampling hop {hop}")
+            hop_started = self._metrics_clock() if instrumented else 0.0
             next_frontier: List[int] = []
             for node in frontier:
                 neighbors = graph.in_neighbors(node)
@@ -80,10 +137,15 @@ class SageSampler:
                         visited[neighbor] = None
                         next_frontier.append(neighbor)
             frontier = next_frontier
-        return _induce(graph, np.fromiter(visited.keys(), dtype=np.int64), targets)
+            if instrumented:
+                self._record_hop(self._metrics_clock() - hop_started)
+        result = _induce(graph, np.fromiter(visited.keys(), dtype=np.int64), targets)
+        if instrumented:
+            self._record_sample(self._metrics_clock() - sample_started)
+        return result
 
 
-class HGSampler:
+class HGSampler(_SamplerMetrics):
     """HGSampling: type-balanced importance sampling (HGT, Alg. 2).
 
     Maintains one budget per node type. Each candidate's score is the
@@ -93,7 +155,10 @@ class HGSampler:
     which forces similar per-type counts in the output subgraph.
     """
 
+    _metric_label = "hg"
+
     def __init__(self, depth: int = 2, width: int = 8, seed: int = 0) -> None:
+        super().__init__()
         if depth < 1:
             raise ValueError("depth must be >= 1")
         if width < 1:
@@ -110,6 +175,8 @@ class HGSampler:
         ``deadline`` (optional, duck-typed — see
         :meth:`SageSampler.sample`) is checked once per depth step.
         """
+        instrumented = self._sample_seconds is not None
+        sample_started = self._metrics_clock() if instrumented else 0.0
         targets = np.asarray(targets, dtype=np.int64)
         degree = np.maximum(graph.degree(), 1)
         sampled: Dict[int, None] = {int(t): None for t in targets}
@@ -130,6 +197,7 @@ class HGSampler:
         for step in range(self.depth):
             if deadline is not None:
                 deadline.check(f"sampling step {step}")
+            step_started = self._metrics_clock() if instrumented else 0.0
             newly_sampled: List[int] = []
             for type_budget in budgets:
                 if not type_budget:
@@ -149,8 +217,13 @@ class HGSampler:
                 budgets[graph.node_type[node]].pop(node, None)
             for node in newly_sampled:
                 add_to_budget(node)
+            if instrumented:
+                self._record_hop(self._metrics_clock() - step_started)
 
-        return _induce(graph, np.fromiter(sampled.keys(), dtype=np.int64), targets)
+        result = _induce(graph, np.fromiter(sampled.keys(), dtype=np.int64), targets)
+        if instrumented:
+            self._record_sample(self._metrics_clock() - sample_started)
+        return result
 
 
 def _induce(graph: HeteroGraph, nodes: np.ndarray, targets: np.ndarray) -> SampledSubgraph:

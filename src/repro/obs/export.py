@@ -1,0 +1,96 @@
+"""Span exporters: JSONL dumps and Chrome ``chrome://tracing`` JSON.
+
+Two formats cover the two consumers:
+
+* :func:`write_jsonl` — one span dict per line, trivially greppable and
+  streamable; the raw-data format for offline analysis.
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Trace Event
+  Format complete events (``ph: "X"``) that ``chrome://tracing`` and
+  Perfetto load directly; span nesting renders as stacked bars per
+  thread track, which is how you *see* where a request or an epoch
+  spends its budget.
+
+Timestamps: tracer clocks are relative (``perf_counter`` or a
+``ManualClock`` starting at 0), so events are emitted relative to the
+earliest span start, in integer-friendly microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Sequence
+
+from .trace import Span
+
+__all__ = [
+    "spans_to_dicts",
+    "write_jsonl",
+    "read_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+
+def spans_to_dicts(spans: Iterable[Span]) -> List[Dict[str, Any]]:
+    """Spans as plain dicts, ordered by start time."""
+    return [span.to_dict() for span in sorted(spans, key=lambda s: (s.start_s, s.span_id))]
+
+
+def write_jsonl(spans: Iterable[Span], path: str) -> int:
+    """One JSON object per line; returns the number of spans written."""
+    records = spans_to_dicts(spans)
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, default=str) + "\n")
+    return len(records)
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Inverse of :func:`write_jsonl` (dicts, not Span objects)."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def chrome_trace(spans: Sequence[Span]) -> Dict[str, Any]:
+    """Trace Event Format document for ``chrome://tracing`` / Perfetto.
+
+    Every finished span becomes one complete event (``ph: "X"``) with
+    ``ts``/``dur`` in microseconds relative to the earliest span, so a
+    ``ManualClock`` trace starting at simulated t=0 renders from 0.
+    Span attributes surface under ``args`` alongside the span/parent
+    ids, letting the UI's selection panel show the tree linkage.
+    """
+    spans = [span for span in spans if span.end_s is not None]
+    origin = min((span.start_s for span in spans), default=0.0)
+    events: List[Dict[str, Any]] = []
+    for span in sorted(spans, key=lambda s: (s.start_s, s.span_id)):
+        args = {str(k): v for k, v in span.attributes.items()}
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": round((span.start_s - origin) * 1e6, 3),
+                "dur": round(span.duration_s * 1e6, 3),
+                "pid": 1,
+                "tid": span.thread_id,
+                "cat": "repro",
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Sequence[Span], path: str) -> int:
+    """Write the Chrome trace JSON; returns the number of events."""
+    document = chrome_trace(spans)
+    with open(path, "w") as handle:
+        json.dump(document, handle, default=str)
+    return len(document["traceEvents"])

@@ -137,18 +137,47 @@ class RetryingKVStore(KVStore):
         self.retry_on = retry_on
         self.retries = 0
         self._sleep = sleep
+        self._reads_total = None
+        self._read_seconds = None
+        self._retries_total = None
+
+    def instrument(self, registry) -> "RetryingKVStore":
+        """Attach read/retry counters + latency histograms to a
+        :class:`repro.obs.registry.MetricsRegistry`; joins the shared
+        ``kv_reads_total`` / ``kv_read_seconds`` family under
+        ``store="retrying"``. Returns self for chaining."""
+        self._reads_total = registry.counter(
+            "kv_reads_total", "KV feature reads issued.", labels=("store",)
+        )
+        self._read_seconds = registry.histogram(
+            "kv_read_seconds",
+            "Latency of KV feature reads (per chunk, retries included).",
+            labels=("store",),
+        )
+        self._retries_total = registry.counter(
+            "kv_retries_total", "Retry sleeps taken on KV reads.", labels=("store",)
+        )
+        return self
 
     def _count(self, attempt: int, error: BaseException, delay: float) -> None:
         self.retries += 1
+        if self._retries_total is not None:
+            self._retries_total.inc(store="retrying")
 
     def get(self, key: str) -> bytes:
-        return retry_call(
-            lambda: self.store.get(key),
-            policy=self.policy,
-            retry_on=self.retry_on,
-            sleep=self._sleep,
-            on_retry=self._count,
-        )
+        started = time.perf_counter() if self._read_seconds is not None else 0.0
+        try:
+            return retry_call(
+                lambda: self.store.get(key),
+                policy=self.policy,
+                retry_on=self.retry_on,
+                sleep=self._sleep,
+                on_retry=self._count,
+            )
+        finally:
+            if self._read_seconds is not None:
+                self._read_seconds.observe(time.perf_counter() - started, store="retrying")
+                self._reads_total.inc(store="retrying")
 
     def put(self, key: str, value: bytes) -> None:
         self.store.put(key, value)

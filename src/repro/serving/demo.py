@@ -22,12 +22,14 @@ bit-reproducible for a given seed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..data import load_dataset
 from ..models import DetectorConfig, XFraudDetectorPlus
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import Tracer
 from ..reliability.faults import ManualClock, OutageKVStore, SlowKVStore
 from ..reliability.retry import RetryPolicy
 from ..rules.miner import MinerConfig, RuleMiner
@@ -55,8 +57,16 @@ def build_demo_service(
     outage_window: Tuple[float, float] = (0.15, 0.45),
     read_delay_s: float = 0.002,
     deadline_s: float = 0.5,
+    registry: Optional[MetricsRegistry] = None,
+    trace: bool = False,
 ) -> Tuple[ScoringService, "np.ndarray", ManualClock]:
-    """Assemble the chaos-instrumented service; returns (service, test_nodes, clock)."""
+    """Assemble the chaos-instrumented service; returns (service, test_nodes, clock).
+
+    ``registry`` backs the service's stats with metric histograms;
+    ``trace`` attaches a :class:`~repro.obs.trace.Tracer` on the demo's
+    :class:`ManualClock`, so span timestamps live on the same simulated
+    timeline as the scripted outage (reach it via ``service.tracer``).
+    """
     bundle = load_dataset("ebay-small-sim", seed=seed, scale=scale)
     graph = bundle.graph
 
@@ -91,6 +101,7 @@ def build_demo_service(
         retry=RetryPolicy(max_attempts=2, base_delay=0.001, seed=seed),
         static_prior=float(graph.fraud_rate()),
     )
+    tracer = Tracer(clock=clock) if trace else None
     service = ScoringService(
         model,
         graph,
@@ -99,6 +110,8 @@ def build_demo_service(
         config=config,
         clock=clock,
         own_store=True,
+        tracer=tracer,
+        registry=registry,
     )
     return service, np.asarray(bundle.test_nodes, dtype=np.int64), clock
 
@@ -109,9 +122,13 @@ def run_demo(
     epochs: int = 2,
     requests: int = 40,
     burst: int = 20,
+    registry: Optional[MetricsRegistry] = None,
+    trace: bool = False,
 ) -> DemoResult:
     """Replay the scripted incident; see the module docstring for acts."""
-    service, test_nodes, clock = build_demo_service(seed=seed, scale=scale, epochs=epochs)
+    service, test_nodes, clock = build_demo_service(
+        seed=seed, scale=scale, epochs=epochs, registry=registry, trace=trace
+    )
     nodes = test_nodes[:requests]
 
     responses: List[ScoreResponse] = []

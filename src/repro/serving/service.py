@@ -36,6 +36,8 @@ import numpy as np
 
 from ..graph.hetero import HeteroGraph
 from ..graph.sampling import batched
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
 from ..reliability.retry import RetryPolicy, TransientReadError, retry_call
 from ..rules.miner import RuleSet
 from ..storage.kvstore import CorruptStoreError, KVStore
@@ -138,6 +140,17 @@ class ScoringService:
         Monotonic clock for deadlines / rate limiting / breaker
         cool-downs; inject a
         :class:`~repro.reliability.faults.ManualClock` for determinism.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; when set, every
+        request emits one span tree (admission → sample →
+        feature_fetch → forward → rung) on the same clock the
+        deadlines use.
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; when
+        set, latency tallies back onto registry histograms
+        (``service_request_latency_seconds`` per rung,
+        ``kv_read_seconds`` per feature chunk) and the model's
+        neighbour sampler is instrumented with hop counters.
     """
 
     def __init__(
@@ -150,6 +163,8 @@ class ScoringService:
         clock: Callable[[], float] = time.monotonic,
         sleep: Optional[Callable[[float], None]] = None,
         own_store: bool = False,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.model = model
         self.graph = graph
@@ -161,7 +176,24 @@ class ScoringService:
         # the deadlines watch, so chaos tests see backoff burn budget.
         self._sleep = sleep if sleep is not None else getattr(clock, "sleep", time.sleep)
         self._own_store = own_store
-        self.stats = ServiceStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.registry = registry
+        if registry is not None:
+            self._kv_read_seconds = registry.histogram(
+                "kv_read_seconds",
+                "Latency of KV feature reads (per chunk, retries included).",
+                labels=("store",),
+            )
+            self._kv_reads_total = registry.counter(
+                "kv_reads_total", "KV feature reads issued.", labels=("store",)
+            )
+            sampler = getattr(model, "sampler", None)
+            if sampler is not None and hasattr(sampler, "instrument"):
+                sampler.instrument(registry)
+        else:
+            self._kv_read_seconds = None
+            self._kv_reads_total = None
+        self.stats = ServiceStats(registry=registry)
         self.breaker = CircuitBreaker(
             failure_threshold=self.config.breaker_failure_threshold,
             window=self.config.breaker_window,
@@ -191,11 +223,20 @@ class ScoringService:
     def score(self, request: Union[int, ScoreRequest]) -> ScoreResponse:
         """Score one request synchronously; always returns a verdict."""
         request = self._coerce(request)
-        if not self.bucket.try_acquire():
-            self.stats.record_shed(SHED_RATE_LIMITED)
-            return self._shed_response(request, SHED_RATE_LIMITED)
-        self.stats.record_admitted()
-        return self._score_admitted(request)
+        with self.tracer.span("request", node=request.node) as span:
+            with self.tracer.span("admission") as admission:
+                admitted = self.bucket.try_acquire()
+                admission.set("admitted", admitted)
+            if not admitted:
+                self.stats.record_shed(SHED_RATE_LIMITED)
+                span.set("outcome", "shed").set("shed_reason", SHED_RATE_LIMITED)
+                return self._shed_response(request, SHED_RATE_LIMITED)
+            self.stats.record_admitted()
+            response = self._score_admitted(request)
+            span.set("rung", response.rung)
+            if response.degraded_reason:
+                span.set("degraded_reason", response.degraded_reason)
+            return response
 
     def score_batch(self, requests: Sequence[Union[int, ScoreRequest]]) -> List[ScoreResponse]:
         return [self.score(request) for request in requests]
@@ -214,7 +255,13 @@ class ScoringService:
 
     def drain(self) -> List[ScoreResponse]:
         """Serve the queued backlog FIFO; one verdict per admitted request."""
-        return [self._score_admitted(request) for request in self.queue.drain()]
+        responses: List[ScoreResponse] = []
+        for request in self.queue.drain():
+            with self.tracer.span("request", node=request.node, queued=True) as span:
+                response = self._score_admitted(request)
+                span.set("rung", response.rung)
+                responses.append(response)
+        return responses
 
     # -- internals ------------------------------------------------------
     def _coerce(self, request: Union[int, ScoreRequest]) -> ScoreRequest:
@@ -254,19 +301,24 @@ class ScoringService:
         budget = request.deadline_s if request.deadline_s is not None else self.config.deadline_s
         deadline = Deadline(budget, clock=self._clock)
         degraded_reason: Optional[str] = None
+        rung: Optional[str] = None
+        score = 0.0
         try:
             score = self._gnn_score(request, deadline)
             rung = RUNG_GNN
         except DeadlineExceeded as error:
             self.stats.deadline_hits += 1
             degraded_reason = f"deadline:{error.stage}"
-            rung, score = self._fallback(request)
         except CircuitOpenError:
             degraded_reason = "breaker_open"
-            rung, score = self._fallback(request)
         except FeatureFetchError:
             degraded_reason = "kv_unavailable"
-            rung, score = self._fallback(request)
+        # The "rung" span covers verdict production: the fallback walk
+        # when degraded, a zero-width marker on the healthy GNN path.
+        with self.tracer.span("rung", degraded=degraded_reason or "") as rung_span:
+            if rung is None:
+                rung, score = self._fallback(request)
+            rung_span.set("rung", rung)
         latency = self._clock() - started
         self.stats.record_response(rung, latency, degraded_reason)
         label = int(self.graph.labels[request.node])
@@ -291,17 +343,23 @@ class ScoringService:
             # No sampling stage (plain detector): full-graph scoring
             # under the same deadline bound.
             if self.feature_store is not None:
-                self._fetch_features(np.array([request.node]), deadline)
+                with self.tracer.span("feature_fetch", rows=1):
+                    self._fetch_features(np.array([request.node]), deadline)
             deadline.check("model forward")
-            return float(self.model.predict_proba(self.graph, [request.node])[0])
-        sampled = sampler.sample(self.graph, [request.node], deadline=deadline)
+            with self.tracer.span("forward"):
+                return float(self.model.predict_proba(self.graph, [request.node])[0])
+        with self.tracer.span("sample") as sample_span:
+            sampled = sampler.sample(self.graph, [request.node], deadline=deadline)
+            sample_span.set("sampled_nodes", int(len(sampled.original_ids)))
         if self.feature_store is not None:
-            rows = self._fetch_features(sampled.original_ids, deadline)
+            with self.tracer.span("feature_fetch", rows=int(len(sampled.original_ids))):
+                rows = self._fetch_features(sampled.original_ids, deadline)
             sampled.graph.txn_features = rows.astype(
                 sampled.graph.txn_features.dtype, copy=False
             )
         deadline.check("model forward")
-        return float(self.model.predict_proba(sampled.graph, sampled.target_local)[0])
+        with self.tracer.span("forward"):
+            return float(self.model.predict_proba(sampled.graph, sampled.target_local)[0])
 
     def _fetch_features(self, node_ids: np.ndarray, deadline: Deadline) -> np.ndarray:
         """Hydrate feature rows from the KV-store, retries inside the breaker.
@@ -325,6 +383,7 @@ class ScoringService:
             def read_chunk(chunk=chunk):
                 return [_decode_array(store.get(f"feat/{int(node)}")) for node in chunk]
 
+            chunk_started = self._clock()
             try:
                 fetched = self.breaker.call(
                     lambda: retry_call(
@@ -340,6 +399,14 @@ class ScoringService:
             except (TransientReadError, CorruptStoreError) as error:
                 self.stats.kv_failures += 1
                 raise FeatureFetchError(str(error)) from error
+            finally:
+                # Chunk latency on the service clock (simulated reads
+                # under a ManualClock land in the histogram too).
+                if self._kv_read_seconds is not None:
+                    self._kv_read_seconds.observe(
+                        self._clock() - chunk_started, store="feature-store"
+                    )
+                    self._kv_reads_total.inc(len(chunk), store="feature-store")
             rows.extend(fetched)
         return np.stack(rows)
 

@@ -5,9 +5,14 @@ outcomes, per-rung response counts, breaker transitions, retry /
 deadline / KV-failure tallies, and end-to-end latency percentiles via
 the shared :func:`~repro.train.metrics.latency_percentiles` helper.
 
-Everything here is plain counters and lists — cheap enough to update
-on every request — and :meth:`snapshot` / :meth:`describe` render the
-block the ``repro serve`` CLI prints after a run.
+Memory is bounded: latency samples and (label, score) outcome pairs
+live in :class:`~repro.obs.registry.Reservoir` samples, so a service
+that runs for months holds O(1) state while percentiles and online AUC
+stay statistically faithful. With a
+:class:`~repro.obs.registry.MetricsRegistry` attached, every tally is
+mirrored into labelled registry metrics (``service_request_latency_seconds``
+histograms per rung, shed/degraded counters) for Prometheus-text
+exposition alongside the human-readable :meth:`describe` block.
 """
 
 from __future__ import annotations
@@ -15,13 +20,24 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.registry import MetricsRegistry, Reservoir
 from ..train.metrics import latency_percentiles, roc_auc
+
+#: Reservoir capacity for latency / outcome samples. Large enough that
+#: p99 over the retained sample tracks the stream, small enough that a
+#: long-running service never grows.
+DEFAULT_RESERVOIR_SIZE = 4096
 
 
 class ServiceStats:
     """Mutable counter block for one :class:`~repro.serving.service.ScoringService`."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
+        seed: int = 0,
+    ) -> None:
         self.received = 0
         self.admitted = 0
         self.completed = 0
@@ -32,39 +48,75 @@ class ServiceStats:
         self.kv_failures = 0
         self.kv_retries = 0
         self.breaker_transitions: List[Tuple[str, str]] = []
-        self.latencies_s: List[float] = []
-        self._outcomes: List[Tuple[int, float]] = []  # (label, score)
+        self._latencies = Reservoir(reservoir_size, seed=seed)
+        self._outcomes = Reservoir(reservoir_size, seed=seed)  # (label, score)
+        self.registry = registry
+        if registry is not None:
+            self._latency_hist = registry.histogram(
+                "service_request_latency_seconds",
+                "End-to-end latency of admitted scoring requests.",
+                labels=("rung",),
+            )
+            self._shed_counter = registry.counter(
+                "service_shed_total", "Requests shed with a verdict.", labels=("reason",)
+            )
+            self._degraded_counter = registry.counter(
+                "service_degraded_total",
+                "Responses produced below the GNN rung.",
+                labels=("reason",),
+            )
+            self._admitted_counter = registry.counter(
+                "service_admitted_total", "Requests admitted for scoring."
+            )
+        else:
+            self._latency_hist = None
+            self._shed_counter = None
+            self._degraded_counter = None
+            self._admitted_counter = None
 
     # -- recording ------------------------------------------------------
     def record_admitted(self) -> None:
         self.received += 1
         self.admitted += 1
+        if self._admitted_counter is not None:
+            self._admitted_counter.inc()
 
     def record_shed(self, reason: str) -> None:
         self.received += 1
         self.shed[reason] += 1
+        if self._shed_counter is not None:
+            self._shed_counter.inc(reason=reason)
 
     def record_response(self, rung: str, latency_s: float, degraded_reason: Optional[str] = None) -> None:
         self.completed += 1
         self.rungs[rung] += 1
-        self.latencies_s.append(float(latency_s))
+        self._latencies.add(float(latency_s))
         if degraded_reason:
             self.degraded_reasons[degraded_reason] += 1
+        if self._latency_hist is not None:
+            self._latency_hist.observe(float(latency_s), rung=rung)
+        if degraded_reason and self._degraded_counter is not None:
+            self._degraded_counter.inc(reason=degraded_reason)
 
     def record_breaker_transition(self, from_state: str, to_state: str) -> None:
         self.breaker_transitions.append((from_state, to_state))
 
     def record_outcome(self, label: int, score: float) -> None:
         """Optionally track (truth, score) pairs for online AUC."""
-        self._outcomes.append((int(label), float(score)))
+        self._outcomes.add((int(label), float(score)))
 
     # -- reporting ------------------------------------------------------
     @property
     def total_shed(self) -> int:
         return sum(self.shed.values())
 
+    @property
+    def latencies_s(self) -> List[float]:
+        """Retained latency sample (bounded; uniform over the stream)."""
+        return self._latencies.values()
+
     def latency_summary(self) -> Dict[str, float]:
-        return latency_percentiles(self.latencies_s)
+        return latency_percentiles(self._latencies.values())
 
     def auc(self) -> float:
         """Online AUC over recorded outcomes.
@@ -72,10 +124,11 @@ class ServiceStats:
         NaN — not an exception — when the window is empty or
         single-class (a shed-heavy or all-benign degraded window).
         """
-        if not self._outcomes:
+        outcomes = self._outcomes.values()
+        if not outcomes:
             return float("nan")
-        labels = [label for label, _ in self._outcomes]
-        scores = [score for _, score in self._outcomes]
+        labels = [label for label, _ in outcomes]
+        scores = [score for _, score in outcomes]
         return roc_auc(labels, scores, default=float("nan"))
 
     def breaker_state_path(self) -> Tuple[str, ...]:

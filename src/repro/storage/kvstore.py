@@ -41,6 +41,7 @@ import mmap
 import os
 import struct
 import threading
+import time
 import zlib
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -227,6 +228,8 @@ class MmapKVStore(KVStore):
         self._finalized = False
         self._shared_reader: Optional[_MmapReader] = None
         self._lock = threading.Lock()
+        self._reads_total = None
+        self._read_seconds = None
 
     @classmethod
     def open(
@@ -254,7 +257,24 @@ class MmapKVStore(KVStore):
         store._finalized = True
         store._shared_reader = _MmapReader(path, index, verify=verify)
         store._lock = threading.Lock()
+        store._reads_total = None
+        store._read_seconds = None
         return store
+
+    def instrument(self, registry) -> "MmapKVStore":
+        """Attach read counters + latency histograms to a
+        :class:`repro.obs.registry.MetricsRegistry`; metrics share the
+        ``kv_reads_total`` / ``kv_read_seconds`` family under
+        ``store="mmap"``. Returns self for chaining."""
+        self._reads_total = registry.counter(
+            "kv_reads_total", "KV feature reads issued.", labels=("store",)
+        )
+        self._read_seconds = registry.histogram(
+            "kv_read_seconds",
+            "Latency of KV feature reads (per chunk, retries included).",
+            labels=("store",),
+        )
+        return self
 
     # -- write phase ----------------------------------------------------
     def put(self, key: str, value: bytes) -> None:
@@ -300,6 +320,16 @@ class MmapKVStore(KVStore):
     def get(self, key: str) -> bytes:
         if not self._finalized:
             raise RuntimeError("finalize() the store before reading")
+        if self._read_seconds is not None:
+            started = time.perf_counter()
+            try:
+                return self._get_raw(key)
+            finally:
+                self._read_seconds.observe(time.perf_counter() - started, store="mmap")
+                self._reads_total.inc(store="mmap")
+        return self._get_raw(key)
+
+    def _get_raw(self, key: str) -> bytes:
         if self.single_handle:
             # LevelDB-like: one handle, all readers serialise on a lock.
             with self._lock:

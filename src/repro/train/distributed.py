@@ -19,7 +19,6 @@ module reproduces that architecture inside one process:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -29,6 +28,7 @@ from .. import nn
 from ..graph.hetero import HeteroGraph
 from ..graph.partition import group_partitions, pic_partition
 from ..graph.sampling import batched
+from ..obs.trace import Tracer, timed
 from ..reliability.faults import CRASH, RECOVERY, STRAGGLER, FaultEvent, FaultPlan
 from .metrics import accuracy, average_precision, roc_auc
 from .trainer import TrainConfig
@@ -136,6 +136,7 @@ class DistributedTrainer:
         workers: List[WorkerPartition],
         config: Optional[TrainConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if not workers:
             raise ValueError("need at least one worker partition")
@@ -143,6 +144,7 @@ class DistributedTrainer:
         self.workers = workers
         self.config = config or TrainConfig()
         self.fault_plan = fault_plan
+        self.tracer = tracer
         self.optimizer = nn.AdamW(
             model.parameters(),
             lr=self.config.learning_rate,
@@ -159,27 +161,23 @@ class DistributedTrainer:
         returns the mean gradient, matching what a DDP worker
         contributes per synchronisation round when accumulating.
         """
-        started = time.perf_counter()
-        if worker.num_train == 0:
-            zero = [np.zeros_like(p.data) for p in self.model.parameters()]
-            return zero, 0.0, time.perf_counter() - started
-
-        nodes = worker.train_local
-        if self.config.shuffle:
-            nodes = self._rng.permutation(nodes)
-        accumulated = [np.zeros_like(p.data) for p in self.model.parameters()]
-        losses: List[float] = []
-        batches = batched(nodes, self.config.batch_size)
-        for batch in batches:
-            self.model.zero_grad()
-            loss = self.model.loss(worker.graph, batch)
-            loss.backward()
-            for slot, param in zip(accumulated, self.model.parameters()):
-                if param.grad is not None:
-                    slot += param.grad * (len(batch) / len(nodes))
-            losses.append(loss.item())
-        seconds = time.perf_counter() - started
-        return accumulated, float(np.mean(losses)), seconds
+        with timed(self.tracer, "worker", worker=worker.worker_id) as timer:
+            accumulated = [np.zeros_like(p.data) for p in self.model.parameters()]
+            losses: List[float] = []
+            if worker.num_train:
+                nodes = worker.train_local
+                if self.config.shuffle:
+                    nodes = self._rng.permutation(nodes)
+                for batch in batched(nodes, self.config.batch_size):
+                    self.model.zero_grad()
+                    loss = self.model.loss(worker.graph, batch)
+                    loss.backward()
+                    for slot, param in zip(accumulated, self.model.parameters()):
+                        if param.grad is not None:
+                            slot += param.grad * (len(batch) / len(nodes))
+                    losses.append(loss.item())
+        mean_loss = float(np.mean(losses)) if losses else 0.0
+        return accumulated, mean_loss, timer.seconds
 
     def train_epoch(self, epoch: int = 0) -> DistributedEpoch:
         """One synchronous round: live workers compute, grads averaged.

@@ -9,7 +9,6 @@ graph, mini-batched over labeled target nodes.
 
 from __future__ import annotations
 
-import time
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -18,6 +17,7 @@ import numpy as np
 from .. import nn
 from ..graph.hetero import HeteroGraph
 from ..graph.sampling import batched
+from ..obs.trace import Tracer, timed
 from ..reliability.checkpoint import (
     CheckpointManager,
     TrainingState,
@@ -70,11 +70,22 @@ class TrainResult:
 
 
 class Trainer:
-    """Gradient-descent training loop with early stopping."""
+    """Gradient-descent training loop with early stopping.
 
-    def __init__(self, model, config: Optional[TrainConfig] = None) -> None:
+    ``tracer`` (optional :class:`~repro.obs.trace.Tracer`) records one
+    ``fit`` span with per-``epoch`` (and per-``evaluate``) children —
+    the trace behind ``repro train --trace-out``.
+    """
+
+    def __init__(
+        self,
+        model,
+        config: Optional[TrainConfig] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.model = model
         self.config = config or TrainConfig()
+        self.tracer = tracer
         self.optimizer = nn.AdamW(
             model.parameters(),
             lr=self.config.learning_rate,
@@ -171,32 +182,35 @@ class Trainer:
             start_epoch, best_state, epochs_since_best = self._restore_state(
                 self._resolve_resume(resume_from), result
             )
-        for epoch in range(start_epoch, self.config.epochs):
-            # Early stopping is checked at the top of the iteration so a
-            # resumed run makes the identical decision an uninterrupted
-            # run made after the checkpointed epoch.
-            if eval_nodes is not None and epochs_since_best >= self.config.patience:
-                break
-            started = time.perf_counter()
-            loss = self.train_epoch(graph, train_nodes)
-            seconds = time.perf_counter() - started
-            record = EpochRecord(epoch=epoch, loss=loss, seconds=seconds)
+        with timed(self.tracer, "fit", epochs=self.config.epochs):
+            for epoch in range(start_epoch, self.config.epochs):
+                # Early stopping is checked at the top of the iteration so a
+                # resumed run makes the identical decision an uninterrupted
+                # run made after the checkpointed epoch.
+                if eval_nodes is not None and epochs_since_best >= self.config.patience:
+                    break
+                with timed(self.tracer, "epoch", epoch=epoch) as timer:
+                    loss = self.train_epoch(graph, train_nodes)
+                record = EpochRecord(epoch=epoch, loss=loss, seconds=timer.seconds)
 
-            if eval_nodes is not None and len(eval_nodes):
-                scores = self.model.predict_proba(graph, eval_nodes)
-                labels = graph.labels[np.asarray(eval_nodes, dtype=np.int64)]
-                record.eval_auc = roc_auc(labels, scores, default=None)
-                if record.eval_auc is not None and record.eval_auc > result.best_auc:
-                    result.best_auc = record.eval_auc
-                    best_state = self.model.state_dict()
-                    epochs_since_best = 0
-                else:
-                    epochs_since_best += 1
-            result.history.append(record)
-            if self.config.verbose:
-                print(f"epoch {epoch}: loss={loss:.4f} auc={record.eval_auc}")
-            if manager is not None:
-                manager.save(self._capture_state(epoch, result, best_state, epochs_since_best))
+                if eval_nodes is not None and len(eval_nodes):
+                    with timed(self.tracer, "evaluate", epoch=epoch):
+                        scores = self.model.predict_proba(graph, eval_nodes)
+                        labels = graph.labels[np.asarray(eval_nodes, dtype=np.int64)]
+                        record.eval_auc = roc_auc(labels, scores, default=None)
+                    if record.eval_auc is not None and record.eval_auc > result.best_auc:
+                        result.best_auc = record.eval_auc
+                        best_state = self.model.state_dict()
+                        epochs_since_best = 0
+                    else:
+                        epochs_since_best += 1
+                result.history.append(record)
+                if self.config.verbose:
+                    print(f"epoch {epoch}: loss={loss:.4f} auc={record.eval_auc}")
+                if manager is not None:
+                    manager.save(
+                        self._capture_state(epoch, result, best_state, epochs_since_best)
+                    )
         if best_state is not None:
             self.model.load_state_dict(best_state)
         return result
@@ -230,12 +244,12 @@ def measure_inference_time(
     nodes = np.asarray(nodes, dtype=np.int64)
     times: List[float] = []
     for batch in batched(nodes, batch_size):
-        started = time.perf_counter()
-        if sampled and hasattr(model, "predict_proba_sampled"):
-            model.predict_proba_sampled(graph, batch)
-        else:
-            model.predict_proba(graph, batch)
-        times.append(time.perf_counter() - started)
+        with timed(name="inference_batch") as timer:
+            if sampled and hasattr(model, "predict_proba_sampled"):
+                model.predict_proba_sampled(graph, batch)
+            else:
+                model.predict_proba(graph, batch)
+        times.append(timer.seconds)
     summary = {
         "mean_s_per_batch": float(np.mean(times)),
         "std_s_per_batch": float(np.std(times)),

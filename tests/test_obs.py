@@ -1,0 +1,372 @@
+"""Tests for repro.obs: metrics registry, tracing, export, profiler,
+and the bounded ServiceStats riding on top of them."""
+
+import json
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    NULL_TRACER,
+    Profiler,
+    Reservoir,
+    Tracer,
+    chrome_trace,
+    read_jsonl,
+    timed,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.reliability.faults import ManualClock
+from repro.serving.stats import ServiceStats
+
+
+# ----------------------------------------------------------------------
+# MetricsRegistry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_counter_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "Requests.", labels=("rung",))
+        counter.inc(rung="gnn")
+        counter.inc(2, rung="rules")
+        assert counter.value(rung="gnn") == 1
+        assert counter.value(rung="rules") == 2
+        assert counter.total() == 3
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "Ops.")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("queue_depth", "Depth.")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 4
+
+    def test_get_or_create_returns_same_metric(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits_total", "Hits.")
+        second = registry.counter("hits_total", "Hits.")
+        assert first is second
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "X.")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", "X.")
+
+    def test_label_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("y_total", "Y.", labels=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("y_total", "Y.", labels=("b",))
+
+    def test_invalid_metric_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad-name", "Nope.")
+
+    def test_histogram_buckets_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", "Lat.", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        text = registry.render()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1.0"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_count 3" in text
+
+    def test_histogram_percentile_from_reservoir(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("t_seconds", "T.")
+        for value in range(1, 101):
+            hist.observe(value / 100.0)
+        p50 = hist.percentile(50)
+        assert 0.4 <= p50 <= 0.6
+
+    def test_render_is_prometheus_text(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "Letter a.").inc()
+        registry.gauge("b_depth", "Letter b.").set(2)
+        text = registry.render()
+        assert text.endswith("\n")
+        assert "# HELP a_total Letter a." in text
+        assert "# TYPE a_total counter" in text
+        assert "# TYPE b_depth gauge" in text
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("esc_total", "Esc.", labels=("reason",))
+        counter.inc(reason='say "hi"\nbye\\')
+        text = registry.render()
+        assert '\\"hi\\"' in text
+        assert "\\n" in text
+
+    def test_thread_safety_no_lost_counts(self):
+        """≥4 concurrent threads hammering one registry lose no counts."""
+        registry = MetricsRegistry()
+        counter = registry.counter("hammer_total", "Hammer.", labels=("worker",))
+        hist = registry.histogram("hammer_seconds", "Hammer latency.")
+        threads, per_thread = 8, 2500
+
+        def hammer(worker):
+            for i in range(per_thread):
+                counter.inc(worker=str(worker % 2))
+                hist.observe(i / per_thread)
+
+        pool = [threading.Thread(target=hammer, args=(w,)) for w in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert counter.total() == threads * per_thread
+        assert hist.count() == threads * per_thread
+
+
+class TestReservoir:
+    def test_bounded_capacity(self):
+        reservoir = Reservoir(16, seed=0)
+        for i in range(10_000):
+            reservoir.add(float(i))
+        assert len(reservoir) == 16
+        assert reservoir.seen == 10_000
+
+    def test_deterministic_given_seed(self):
+        a, b = Reservoir(8, seed=3), Reservoir(8, seed=3)
+        for i in range(1000):
+            a.add(i)
+            b.add(i)
+        assert a.values() == b.values()
+
+    def test_holds_arbitrary_items(self):
+        reservoir = Reservoir(4, seed=0)
+        for i in range(100):
+            reservoir.add((i % 2, i / 100.0))
+        assert all(isinstance(item, tuple) for item in reservoir.values())
+
+
+# ----------------------------------------------------------------------
+# Tracer / spans
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_manual_clock_nesting(self):
+        """Span tree driven by a ManualClock is fully deterministic."""
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("request", node=7) as request:
+            clock.advance(0.010)
+            with tracer.span("sample") as sample:
+                clock.advance(0.020)
+            with tracer.span("forward") as forward:
+                clock.advance(0.005)
+            clock.advance(0.001)
+        assert sample.parent_id == request.span_id
+        assert forward.parent_id == request.span_id
+        assert sample.trace_id == request.trace_id == forward.trace_id
+        assert request.start_s == 0.0
+        assert sample.duration_s == pytest.approx(0.020)
+        assert forward.duration_s == pytest.approx(0.005)
+        assert request.duration_s == pytest.approx(0.036)
+        assert [s.name for s in tracer.spans()] == ["sample", "forward", "request"]
+
+    def test_disabled_tracer_is_noop(self):
+        span = NULL_TRACER.span("anything", k=1)
+        with span as entered:
+            entered.set("x", 2)
+        assert NULL_TRACER.spans() == []
+        # Same shared object every time — no allocation on the hot path.
+        assert NULL_TRACER.span("other") is span
+
+    def test_bounded_span_buffer(self):
+        tracer = Tracer(max_spans=10)
+        for i in range(25):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer.spans()) == 10
+        assert tracer.dropped == 15
+        assert tracer.spans()[0].name == "s15"
+
+    def test_threads_do_not_cross_nest(self):
+        tracer = Tracer()
+        done = threading.Event()
+
+        def other():
+            with tracer.span("other-root"):
+                done.wait(timeout=5)
+
+        thread = threading.Thread(target=other)
+        with tracer.span("main-root"):
+            thread.start()
+            with tracer.span("main-child") as child:
+                pass
+        done.set()
+        thread.join()
+        roots = [s for s in tracer.spans() if s.parent_id is None]
+        assert {s.name for s in roots} == {"other-root", "main-root"}
+        assert child.parent_id is not None
+
+    def test_timed_measures_on_manual_clock(self):
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        with timed(tracer, "epoch", epoch=3) as timer:
+            clock.advance(1.5)
+        assert timer.seconds == pytest.approx(1.5)
+        (span,) = tracer.spans()
+        assert span.name == "epoch"
+        assert span.attributes["epoch"] == 3
+        assert span.duration_s == pytest.approx(1.5)
+
+    def test_timed_without_tracer(self):
+        with timed() as timer:
+            pass
+        assert timer.seconds >= 0.0
+        assert timer.span is None
+
+
+# ----------------------------------------------------------------------
+# Export
+# ----------------------------------------------------------------------
+class TestExport:
+    def _make_spans(self):
+        clock = ManualClock(start=2.0)
+        tracer = Tracer(clock=clock)
+        with tracer.span("request", node=1):
+            clock.advance(0.010)
+            with tracer.span("forward"):
+                clock.advance(0.030)
+            clock.advance(0.002)
+        return tracer.spans()
+
+    def test_chrome_trace_round_trip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        spans = self._make_spans()
+        count = write_chrome_trace(spans, str(path))
+        assert count == 2
+        trace = json.load(open(path))  # must be valid JSON
+        events = trace["traceEvents"]
+        assert all(e["ph"] == "X" for e in events)
+        by_name = {e["name"]: e for e in events}
+        request, forward = by_name["request"], by_name["forward"]
+        # ts are µs relative to the earliest span; durations consistent.
+        assert request["ts"] == 0
+        assert forward["ts"] == pytest.approx(10_000)
+        assert forward["dur"] == pytest.approx(30_000)
+        assert request["dur"] == pytest.approx(42_000)
+        # Children lie within their parent on the timeline.
+        assert request["ts"] <= forward["ts"]
+        assert forward["ts"] + forward["dur"] <= request["ts"] + request["dur"]
+        assert forward["args"]["parent_id"] == request["args"]["span_id"]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        spans = self._make_spans()
+        assert write_jsonl(spans, str(path)) == 2
+        rows = read_jsonl(str(path))
+        # Export orders by start time: the request opens before its child.
+        assert [row["name"] for row in rows] == ["request", "forward"]
+        assert rows[1]["duration_s"] == pytest.approx(0.030)
+
+
+# ----------------------------------------------------------------------
+# Profiler
+# ----------------------------------------------------------------------
+class TestProfiler:
+    def _tiny_model(self):
+        return nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 1))
+
+    def test_records_forward_and_backward(self):
+        model = self._tiny_model()
+        x = nn.Tensor(np.random.default_rng(0).normal(size=(16, 4)))
+        with Profiler() as profiler:
+            out = model(x)
+            out.sum().backward()
+        forward_names = {r.name for r in profiler.records("forward")}
+        assert {"Sequential", "Linear", "ReLU"} <= forward_names
+        backward_names = {r.name for r in profiler.records("backward")}
+        assert "matmul" in backward_names
+        linear = next(r for r in profiler.records("forward") if r.name == "Linear")
+        assert linear.calls == 2
+        assert linear.bytes > 0
+        report = profiler.report()
+        assert "forward" in report and "backward" in report
+
+    def test_hooks_restored_after_exit(self):
+        call_before = nn.Module.__call__
+        make_before = nn.Tensor._make
+        with Profiler():
+            pass
+        assert nn.Module.__call__ is call_before
+        assert nn.Tensor._make is make_before
+
+    def test_profilers_do_not_nest(self):
+        with Profiler():
+            with pytest.raises(RuntimeError):
+                with Profiler():
+                    pass
+
+
+# ----------------------------------------------------------------------
+# ServiceStats on bounded reservoirs + registry
+# ----------------------------------------------------------------------
+class TestServiceStats:
+    def test_snapshot_shape_unchanged(self):
+        stats = ServiceStats()
+        stats.record_admitted()
+        stats.record_response("gnn", 0.012)
+        stats.record_outcome(1, 0.9)
+        stats.record_outcome(0, 0.1)
+        snapshot = stats.snapshot()
+        assert set(snapshot) == {
+            "received",
+            "admitted",
+            "completed",
+            "shed",
+            "rungs",
+            "degraded_reasons",
+            "deadline_hits",
+            "kv_failures",
+            "kv_retries",
+            "breaker_transitions",
+            "latency_s",
+            "auc",
+        }
+        assert snapshot["rungs"] == {"gnn": 1}
+        assert not math.isnan(snapshot["auc"])
+
+    def test_latencies_bounded(self):
+        stats = ServiceStats(reservoir_size=32)
+        for i in range(5000):
+            stats.record_response("gnn", i / 5000.0)
+            stats.record_outcome(i % 2, i / 5000.0)
+        assert len(stats.latencies_s) == 32
+        assert stats.completed == 5000
+        summary = stats.latency_summary()
+        assert set(summary) == {"p50", "p95", "p99"}
+        assert 0.0 <= stats.auc() <= 1.0
+
+    def test_registry_mirroring(self):
+        registry = MetricsRegistry()
+        stats = ServiceStats(registry=registry)
+        stats.record_admitted()
+        stats.record_response("rules", 0.004, degraded_reason="breaker_open")
+        stats.record_shed("queue_full")
+        text = registry.render()
+        assert 'service_request_latency_seconds_count{rung="rules"} 1' in text
+        assert 'service_shed_total{reason="queue_full"} 1' in text
+        assert 'service_degraded_total{reason="breaker_open"} 1' in text
+        assert "service_admitted_total 1" in text
+
+
+def test_default_latency_buckets_sorted():
+    assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
