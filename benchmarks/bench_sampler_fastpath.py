@@ -1,0 +1,80 @@
+"""Sampler fast path — reference vs vectorized vs cached throughput.
+
+PR "vectorized batch fast path": the CSR array sampler must (a) return
+seed-for-seed *identical* subgraphs to the scalar reference walk, and
+(b) be materially faster at serving batch sizes. This bench times both
+samplers at batch sizes 1 / 16 / 128 over the same target stream plus
+the warmed :class:`~repro.graph.cache.SubgraphCache` in front of the
+fast path (the full serving configuration), and asserts:
+
+* equivalence on every (sampler, batch) configuration — the benchmark
+  doubles as an end-to-end correctness sweep;
+* vectorized speedup >= 2x at batch 128 for both samplers (the
+  conservative floor CI also enforces via ``repro bench-sampler``);
+* end-to-end fast-path (vectorized + cache) speedup >= 5x at batch 128.
+"""
+
+import numpy as np
+
+from _helpers import format_table, write_result
+from repro.graph.benchmark import (
+    check_fastpath,
+    render_fastpath_report,
+    run_fastpath_benchmark,
+)
+
+MIN_VECTORIZED_SPEEDUP = 2.0
+MIN_FASTPATH_SPEEDUP = 5.0
+AT_BATCH = 128
+
+
+def test_fastpath_speedup_and_equivalence(benchmark):
+    results = run_fastpath_benchmark(
+        batch_sizes=(1, 16, AT_BATCH), total_targets=AT_BATCH, repeats=5, seed=0
+    )
+
+    # Timed artefact for the pytest-benchmark table: one vectorized
+    # batch-128 pass per sampler (the serving-path configuration).
+    from repro.graph.benchmark import _make_sampler, build_bench_graph
+
+    graph = build_bench_graph(seed=0)
+    stream = graph.txn_nodes[np.arange(AT_BATCH) % len(graph.txn_nodes)]
+    samplers = [_make_sampler(kind, 0, reference=False) for kind in ("sage", "hg")]
+    benchmark.pedantic(
+        lambda: [sampler.sample(graph, stream) for sampler in samplers],
+        rounds=5,
+        iterations=1,
+    )
+
+    report = render_fastpath_report(results)
+    summary_rows = [
+        [
+            r.sampler,
+            r.batch_size,
+            f"{r.throughput:,.0f}",
+            f"{r.speedup:.1f}x",
+            f"{r.cached_speedup:.1f}x",
+        ]
+        for r in results
+        if r.batch_size == AT_BATCH
+    ]
+    text = (
+        report
+        + "\n\n"
+        + format_table(
+            ["sampler", "batch", "targets/s (vectorized)", "speedup", "fastpath (cached)"],
+            summary_rows,
+        )
+    )
+    write_result("fastpath", text)
+
+    # Shape assertions — equivalence everywhere, conservative vectorized
+    # floor, and the 5x end-to-end fast-path criterion at batch 128.
+    failures = check_fastpath(results, MIN_VECTORIZED_SPEEDUP, at_batch_size=AT_BATCH)
+    assert not failures, failures
+    for result in results:
+        if result.batch_size == AT_BATCH:
+            assert result.cached_speedup >= MIN_FASTPATH_SPEEDUP, (
+                f"{result.sampler}@batch={AT_BATCH}: end-to-end fast path "
+                f"{result.cached_speedup:.1f}x below {MIN_FASTPATH_SPEEDUP:.0f}x"
+            )

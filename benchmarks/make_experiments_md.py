@@ -80,6 +80,22 @@ equal AUC. The magnitude is bounded on the simulation because HGSampling
 saturates our small connected components; the 5–7x arises at eBay scale.""",
     ),
     (
+        "Sampler fast path — vectorized CSR batch sampling (repo optimisation)",
+        "fastpath",
+        """Not a paper table: this is the serving-path optimisation this repo
+adds on top of the paper's samplers. The scalar per-node walk is kept as
+the executable specification (``reference=True``); the vectorized CSR
+path must return seed-for-seed identical subgraphs (both share one
+stateless hash RNG), and a bounded LRU subgraph cache fronts the fast
+path in serving.
+
+Shape asserted in `bench_sampler_fastpath.py`: equivalence on every
+(sampler, batch-size) configuration; vectorized speedup >= 2x at batch
+128 for both samplers (the conservative floor CI enforces via
+``repro bench-sampler --min-speedup 2.0``); end-to-end fast path
+(vectorized + warmed cache) >= 5x at batch 128.""",
+    ),
+    (
         "Figure 14 — distributed convergence",
         "fig14_convergence",
         """Paper (Appendix C): 16-machine training does not converge faster and

@@ -2,13 +2,14 @@
 
 Commands
 --------
-``datasets``   print Table-2-style stats for the simulated datasets
-``train``      train a model on a preset dataset, optionally save it
-``evaluate``   load a saved model and evaluate on a preset dataset
-``explain``    explain one transaction's prediction (text + DOT)
-``pipeline``   run the Appendix-B label pipeline and print each stage
-``score``      score transactions through the online ScoringService
-``serve``      replay the deterministic chaos demo (``--demo``)
+``datasets``      print Table-2-style stats for the simulated datasets
+``train``         train a model on a preset dataset, optionally save it
+``evaluate``      load a saved model and evaluate on a preset dataset
+``explain``       explain one transaction's prediction (text + DOT)
+``pipeline``      run the Appendix-B label pipeline and print each stage
+``score``         score transactions through the online ScoringService
+``serve``         replay the deterministic chaos demo (``--demo``)
+``bench-sampler`` time the vectorized sampler fast path vs the reference path
 
 Datasets are fully regenerable from (name, seed, scale), so commands
 take those instead of data files; model weights persist as ``.npz``.
@@ -175,6 +176,42 @@ def _parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write a chrome://tracing JSON of per-request span trees here",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="micro-batch size for score_batch/drain (default: coalesce all)",
+    )
+
+    bench_sampler = commands.add_parser(
+        "bench-sampler",
+        help="benchmark the vectorized sampler fast path vs the reference path",
+    )
+    bench_sampler.add_argument("--seed", type=int, default=0)
+    bench_sampler.add_argument(
+        "--buyers", type=int, default=400, help="synthetic-graph size knob"
+    )
+    bench_sampler.add_argument(
+        "--batch-size",
+        type=int,
+        action="append",
+        default=None,
+        metavar="N",
+        help="batch size(s) to time (repeatable; default 1, 16, 128)",
+    )
+    bench_sampler.add_argument(
+        "--targets", type=int, default=128, help="targets scored per timed pass"
+    )
+    bench_sampler.add_argument("--repeats", type=int, default=3)
+    bench_sampler.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 unless vectorized/reference >= X at the largest batch "
+        "size (and the paths sample identical subgraphs)",
     )
 
     return parser
@@ -371,6 +408,9 @@ def _cmd_serve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.batch_size is not None and args.batch_size < 1:
+        print("error: --batch-size must be >= 1", file=sys.stderr)
+        return 2
     registry = None
     if args.metrics:
         from .obs import MetricsRegistry
@@ -388,6 +428,7 @@ def _cmd_serve(args) -> int:
         burst=args.burst,
         registry=registry,
         trace=bool(args.trace_out),
+        batch_size=args.batch_size,
     )
     transitions = " -> ".join(result.stats.breaker_state_path()) or "closed"
     for response in result.responses[:8]:
@@ -412,6 +453,54 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_bench_sampler(args) -> int:
+    from .graph.benchmark import (
+        DEFAULT_BATCH_SIZES,
+        build_bench_graph,
+        check_fastpath,
+        render_fastpath_report,
+        run_fastpath_benchmark,
+    )
+
+    batch_sizes = tuple(args.batch_size) if args.batch_size else DEFAULT_BATCH_SIZES
+    if any(size < 1 for size in batch_sizes) or args.buyers < 1 or args.targets < 1:
+        print(
+            "error: --batch-size, --buyers, and --targets must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"building synthetic graph (buyers={args.buyers}, seed={args.seed}) ..."
+    )
+    graph = build_bench_graph(num_buyers=args.buyers, seed=args.seed)
+    print(
+        f"graph: {graph.num_nodes:,} nodes / {graph.num_edges:,} edges; "
+        f"timing batch sizes {list(batch_sizes)} x{args.repeats} repeats"
+    )
+    results = run_fastpath_benchmark(
+        graph,
+        batch_sizes=batch_sizes,
+        total_targets=args.targets,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    print()
+    print(render_fastpath_report(results))
+    if args.min_speedup is not None:
+        failures = check_fastpath(
+            results, args.min_speedup, at_batch_size=max(batch_sizes)
+        )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"\nok: equivalence holds and speedup >= {args.min_speedup:.1f}x "
+            f"at batch {max(batch_sizes)}"
+        )
+    return 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "train": _cmd_train,
@@ -420,6 +509,7 @@ _COMMANDS = {
     "pipeline": _cmd_pipeline,
     "score": _cmd_score,
     "serve": _cmd_serve,
+    "bench-sampler": _cmd_bench_sampler,
 }
 
 

@@ -11,6 +11,7 @@ from .hetero import (
     HeteroGraph,
     edge_type_between,
 )
+from .cache import SubgraphCache
 from .partition import group_partitions, pic_partition, power_iteration_embedding
 from .sampling import HGSampler, SageSampler, SampledSubgraph, batched
 
@@ -34,6 +35,7 @@ __all__ = [
     "SageSampler",
     "HGSampler",
     "SampledSubgraph",
+    "SubgraphCache",
     "batched",
     "pic_partition",
     "power_iteration_embedding",

@@ -1,0 +1,234 @@
+"""Fast-path sampler benchmark harness.
+
+One implementation drives three consumers: the ``repro bench-sampler``
+CLI command, ``benchmarks/bench_sampler_fastpath.py`` (which writes
+``benchmarks/results/fastpath.txt``), and the CI perf-smoke job that
+fails the build when the vectorized path stops being fast or stops
+matching the reference path.
+
+For each sampler kind and batch size it times three variants over the
+same target stream:
+
+* **reference** — the scalar per-node walk (``reference=True``), the
+  executable specification;
+* **vectorized** — the CSR array fast path (the default);
+* **cached** — the fast path fronted by a warmed
+  :class:`~repro.graph.cache.SubgraphCache` (pure hits).
+
+Because both sampler paths share the stateless hash RNG, the harness
+also *verifies* seed-for-seed equivalence (identical nodes, edges, and
+target positions) on every batch it times — a benchmark run doubles as
+an end-to-end correctness check.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..util import batched
+from .cache import SubgraphCache
+from .hetero import HeteroGraph
+from .sampling import HGSampler, SageSampler, SampledSubgraph
+
+DEFAULT_BATCH_SIZES: Tuple[int, ...] = (1, 16, 128)
+
+
+@dataclass
+class FastPathResult:
+    """Reference vs vectorized vs cached timings for one configuration."""
+
+    sampler: str  # "sage" | "hg"
+    batch_size: int
+    targets: int  # total targets scored per timed pass
+    reference_s: float
+    fast_s: float
+    cached_s: float
+    equivalent: bool  # fast == reference on every timed batch
+
+    @property
+    def speedup(self) -> float:
+        return self.reference_s / self.fast_s if self.fast_s > 0 else float("inf")
+
+    @property
+    def cached_speedup(self) -> float:
+        return self.reference_s / self.cached_s if self.cached_s > 0 else float("inf")
+
+    @property
+    def throughput(self) -> float:
+        """Vectorized-path targets/second."""
+        return self.targets / self.fast_s if self.fast_s > 0 else float("inf")
+
+
+def build_bench_graph(
+    num_buyers: int = 400, feature_dim: int = 24, seed: int = 0
+) -> HeteroGraph:
+    """A synthetic eBay-like transaction graph for sampler benchmarks."""
+    from ..data import GeneratorConfig, TransactionGenerator
+    from .builder import BuildConfig, GraphBuilder
+
+    config = GeneratorConfig(
+        num_benign_buyers=num_buyers, feature_dim=feature_dim, seed=seed
+    )
+    log = TransactionGenerator(config).generate()
+    graph, _ = GraphBuilder(BuildConfig()).build(log)
+    graph.csr()  # build the adjacency outside the timed region
+    return graph
+
+
+def _make_sampler(kind: str, seed: int, reference: bool):
+    if kind == "sage":
+        return SageSampler(hops=2, fanout=10, seed=seed, reference=reference)
+    if kind == "hg":
+        return HGSampler(depth=3, width=8, seed=seed, reference=reference)
+    raise ValueError(f"unknown sampler kind {kind!r} (expected 'sage' or 'hg')")
+
+
+def _subgraphs_equal(a: SampledSubgraph, b: SampledSubgraph) -> bool:
+    return (
+        np.array_equal(a.original_ids, b.original_ids)
+        and np.array_equal(a.target_local, b.target_local)
+        and np.array_equal(a.graph.edge_src, b.graph.edge_src)
+        and np.array_equal(a.graph.edge_dst, b.graph.edge_dst)
+        and np.array_equal(a.graph.edge_type, b.graph.edge_type)
+        and np.array_equal(a.graph.node_type, b.graph.node_type)
+    )
+
+
+def _time_pass(sample_batch, batches, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for batch in batches:
+            sample_batch(batch)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_fastpath_benchmark(
+    graph: Optional[HeteroGraph] = None,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    samplers: Sequence[str] = ("sage", "hg"),
+    total_targets: int = 128,
+    repeats: int = 3,
+    seed: int = 0,
+    cache_capacity: int = 4096,
+) -> List[FastPathResult]:
+    """Time reference/vectorized/cached sampling and verify equivalence.
+
+    Every configuration scores the same ``total_targets`` transaction
+    nodes (cycled if the graph has fewer), split into ``batch_size``
+    chunks, so throughputs are comparable across batch sizes.
+    """
+    if graph is None:
+        graph = build_bench_graph(seed=seed)
+    graph.csr()
+    txn = graph.txn_nodes
+    if len(txn) == 0:
+        raise ValueError("benchmark graph has no transaction nodes")
+    stream = txn[np.arange(total_targets) % len(txn)]
+
+    results: List[FastPathResult] = []
+    for kind in samplers:
+        fast = _make_sampler(kind, seed, reference=False)
+        reference = _make_sampler(kind, seed, reference=True)
+        for batch_size in batch_sizes:
+            batches = batched(stream, batch_size)
+            equivalent = all(
+                _subgraphs_equal(
+                    fast.sample(graph, batch), reference.sample(graph, batch)
+                )
+                for batch in batches
+            )
+            reference_s = _time_pass(
+                lambda batch: reference.sample(graph, batch), batches, repeats
+            )
+            fast_s = _time_pass(
+                lambda batch: fast.sample(graph, batch), batches, repeats
+            )
+            cache = SubgraphCache(capacity=cache_capacity)
+            for batch in batches:  # warm: every timed lookup is a hit
+                cache.get_or_sample(graph, fast, batch)
+            cached_s = _time_pass(
+                lambda batch: cache.get_or_sample(graph, fast, batch),
+                batches,
+                repeats,
+            )
+            results.append(
+                FastPathResult(
+                    sampler=kind,
+                    batch_size=batch_size,
+                    targets=len(stream),
+                    reference_s=reference_s,
+                    fast_s=fast_s,
+                    cached_s=cached_s,
+                    equivalent=equivalent,
+                )
+            )
+    return results
+
+
+def render_fastpath_report(results: Sequence[FastPathResult]) -> str:
+    """Fixed-width table of one :func:`run_fastpath_benchmark` run."""
+    headers = [
+        "sampler",
+        "batch",
+        "reference",
+        "vectorized",
+        "cached",
+        "speedup",
+        "cached speedup",
+        "equal",
+    ]
+    rows = [
+        [
+            r.sampler,
+            str(r.batch_size),
+            f"{r.reference_s * 1000:.2f}ms",
+            f"{r.fast_s * 1000:.2f}ms",
+            f"{r.cached_s * 1000:.2f}ms",
+            f"{r.speedup:.1f}x",
+            f"{r.cached_speedup:.1f}x",
+            "yes" if r.equivalent else "NO",
+        ]
+        for r in results
+    ]
+    widths = [
+        max(len(headers[i]), max(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += ["  ".join(c.ljust(w) for c, w in zip(row, widths)) for row in rows]
+    return "\n".join(lines)
+
+
+def check_fastpath(
+    results: Sequence[FastPathResult],
+    min_speedup: float,
+    at_batch_size: int = 128,
+) -> List[str]:
+    """Gate for CI: returns a list of failures (empty = pass).
+
+    Equivalence must hold for every configuration; the throughput floor
+    applies per sampler at ``at_batch_size``.
+    """
+    failures: List[str] = []
+    for result in results:
+        if not result.equivalent:
+            failures.append(
+                f"{result.sampler}@batch={result.batch_size}: vectorized and "
+                "reference paths returned different subgraphs"
+            )
+    for result in results:
+        if result.batch_size == at_batch_size and result.speedup < min_speedup:
+            failures.append(
+                f"{result.sampler}@batch={result.batch_size}: speedup "
+                f"{result.speedup:.2f}x below the {min_speedup:.1f}x floor"
+            )
+    return failures

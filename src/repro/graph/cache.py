@@ -1,0 +1,186 @@
+"""Bounded LRU cache for sampled subgraphs.
+
+Samplers in this package are *stateless*: with a fixed seed,
+``sample(graph, targets)`` is a pure function of
+``(graph structure, targets, sampler config)`` — see the fast-path
+contract in :mod:`repro.graph.sampling`. That purity is what makes
+caching sound: a cached :class:`~repro.graph.sampling.SampledSubgraph`
+is byte-identical to what re-sampling would produce, so serving can
+skip the sampler entirely on repeat traffic (hot targets dominate
+real fraud workloads — a small set of active buyers/cards generates
+most scoring requests).
+
+Keys are ``(graph identity, graph.version, sampler.cache_key(),
+targets)``. The version component means an in-place structural edit
+(``HeteroGraph.mark_mutated()``) silently misses every stale entry;
+:meth:`SubgraphCache.invalidate` additionally drops them eagerly so a
+long-lived service does not carry dead weight until eviction.
+
+Consumers must treat cached subgraphs as immutable. The serving layer
+hydrates per-request features via ``HeteroGraph.with_features`` (an
+O(1) structural clone) rather than writing into ``txn_features`` of a
+shared cached instance.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
+from typing import Hashable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .sampling import SampledSubgraph
+
+__all__ = ["SubgraphCache"]
+
+
+class SubgraphCache:
+    """Bounded LRU of :class:`SampledSubgraph` keyed by
+    ``(target, sampler-config, graph-version)``.
+
+    ``capacity`` bounds the entry count; least-recently-used entries
+    are evicted first. Hit/miss/eviction counters are always tracked
+    as plain attributes and — after :meth:`instrument` — exported
+    through a :class:`repro.obs.registry.MetricsRegistry` as
+    ``subgraph_cache_{hits,misses,evictions}_total``.
+
+    Thread-safe: the serving layer scores from worker threads while
+    ``drain`` runs on the control thread.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[Tuple, SampledSubgraph]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._graph_finalizers: dict = {}
+        self._hits_metric = None
+        self._misses_metric = None
+        self._evictions_metric = None
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def instrument(self, registry) -> "SubgraphCache":
+        """Export counters through ``registry``; returns self."""
+        self._hits_metric = registry.counter(
+            "subgraph_cache_hits_total",
+            "Sampled-subgraph cache hits.",
+            labels=("cache",),
+        )
+        self._misses_metric = registry.counter(
+            "subgraph_cache_misses_total",
+            "Sampled-subgraph cache misses.",
+            labels=("cache",),
+        )
+        self._evictions_metric = registry.counter(
+            "subgraph_cache_evictions_total",
+            "Sampled-subgraph cache LRU evictions.",
+            labels=("cache",),
+        )
+        return self
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Core API
+    # ------------------------------------------------------------------
+    def get_or_sample(
+        self,
+        graph,
+        sampler,
+        targets: Sequence[int],
+        deadline=None,
+    ) -> SampledSubgraph:
+        """Cached ``sampler.sample(graph, targets)``.
+
+        A hit returns the stored subgraph without touching the sampler
+        (and without consuming any of ``deadline``); a miss samples,
+        stores, and returns. ``targets`` order matters — it determines
+        ``target_local`` — so it is part of the key.
+        """
+        key = self._key(graph, sampler, targets)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                if self._hits_metric is not None:
+                    self._hits_metric.inc(cache="subgraph")
+                return cached
+            self.misses += 1
+            if self._misses_metric is not None:
+                self._misses_metric.inc(cache="subgraph")
+        sampled = sampler.sample(graph, targets, deadline=deadline)
+        with self._lock:
+            if key not in self._entries:
+                self._entries[key] = sampled
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+                    if self._evictions_metric is not None:
+                        self._evictions_metric.inc(cache="subgraph")
+        return sampled
+
+    def invalidate(self, graph=None) -> int:
+        """Eagerly drop entries: all of them, or only those belonging
+        to stale versions of ``graph``. Returns the number removed.
+
+        Entries for the *current* ``graph.version`` survive — they are
+        still correct. Stale versions can never hit again anyway (the
+        version is in the key); this just frees the memory now rather
+        than waiting for LRU pressure.
+        """
+        with self._lock:
+            if graph is None:
+                removed = len(self._entries)
+                self._entries.clear()
+                return removed
+            token, version = id(graph), graph.version
+            stale = [
+                key
+                for key in self._entries
+                if key[0] == token and key[1] != version
+            ]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+    def _key(self, graph, sampler, targets: Sequence[int]) -> Tuple:
+        target_key: Hashable
+        if isinstance(targets, (int, np.integer)):
+            target_key = int(targets)
+        else:
+            target_key = tuple(int(t) for t in targets)
+        return (self._graph_token(graph), graph.version, sampler.cache_key(), target_key)
+
+    def _graph_token(self, graph) -> int:
+        """Stable identity for ``graph`` within this cache.
+
+        ``id()`` alone can be recycled after a graph is garbage
+        collected; a finalizer purges that graph's entries on death so
+        a recycled address can never alias a dead graph's cache lines.
+        """
+        token = id(graph)
+        if token not in self._graph_finalizers:
+            self._graph_finalizers[token] = weakref.finalize(
+                graph, self._forget_graph, token
+            )
+        return token
+
+    def _forget_graph(self, token: int) -> None:
+        with self._lock:
+            self._graph_finalizers.pop(token, None)
+            dead = [key for key in self._entries if key[0] == token]
+            for key in dead:
+                del self._entries[key]

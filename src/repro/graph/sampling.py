@@ -16,17 +16,106 @@ behind the same heterogeneous convolution:
 
 Both return a :class:`SampledSubgraph`: the induced typed subgraph plus
 the positions of the requested target nodes inside it.
+
+Fast path / reference path contract
+-----------------------------------
+Each sampler ships two implementations of the same algorithm:
+
+* the **vectorized fast path** (default) — frontier expansion as CSR
+  array gathers (``indptr``/``indices`` slices, segment top-k via
+  ``np.lexsort``, ``np.unique`` dedup) with no per-node Python loop;
+* the **scalar reference path** (``reference=True``) — the original
+  node-at-a-time walk, kept as the executable specification the
+  equivalence tests in ``tests/test_fastpath.py`` compare against.
+
+Both paths draw their randomness from the same *stateless* hash
+(splitmix64 over ``(seed, edge-position)`` for SAGE fanout capping,
+``(seed, step, node)`` exponential races for HGSampling's weighted
+draws), so for a fixed seed they return **identical**
+:class:`SampledSubgraph` objects — nodes, edges, and target positions.
+Statelessness also means ``sample()`` is a pure function of
+``(graph, targets, config)``: repeated calls agree, which is what makes
+:class:`~repro.graph.cache.SubgraphCache` sound and online verdicts
+reproducible. Node order is canonical — the unique targets in request
+order, then every other sampled node ascending.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..util import batched  # noqa: F401  (historical home; re-exported)
 from .hetero import NODE_TYPES, HeteroGraph
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+# -- stateless hashing (splitmix64) ------------------------------------
+_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_2 = np.uint64(0x94D049BB133111EB)
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(values: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer over a uint64 array (wrapping arithmetic)."""
+    z = values.astype(np.uint64, copy=True) + _GAMMA
+    z = (z ^ (z >> np.uint64(30))) * _MIX_1
+    z = (z ^ (z >> np.uint64(27))) * _MIX_2
+    return z ^ (z >> np.uint64(31))
+
+
+def _salt(*parts: int) -> np.uint64:
+    """Fold integers into one uint64 salt (order-sensitive)."""
+    acc = np.uint64(0)
+    for part in parts:
+        acc = _mix64(np.array([acc ^ np.uint64(part & _MASK64)], dtype=np.uint64))[0]
+    return acc
+
+
+def _hash_uniform(ids: np.ndarray, salt: np.uint64) -> np.ndarray:
+    """Deterministic uniforms in (0, 1] keyed by ``(ids, salt)``.
+
+    The same ``(id, salt)`` always yields the same draw, which is the
+    mechanism that makes the scalar and vectorized sampler paths agree
+    bit-for-bit: both ask this function the same questions.
+    """
+    mixed = _mix64(np.asarray(ids, dtype=np.int64).astype(np.uint64) ^ salt)
+    return ((mixed >> np.uint64(11)).astype(np.float64) + 1.0) * 2.0**-53
+
+
+def _first_occurrence_unique(values: np.ndarray) -> np.ndarray:
+    """Unique values in order of first appearance."""
+    if len(values) == 0:
+        return _EMPTY
+    _, first = np.unique(values, return_index=True)
+    return values[np.sort(first)]
+
+
+def _concat_csr_slices(
+    indptr: np.ndarray, nodes: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenated CSR positions of the in-edges of ``nodes``.
+
+    Returns ``(positions, counts)`` where ``positions`` walks each
+    node's ``indptr[v]:indptr[v+1]`` slice in order — the flat gather
+    behind every vectorized frontier expansion here.
+    """
+    starts = indptr[nodes]
+    counts = indptr[nodes + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY, counts
+    offsets = np.cumsum(counts) - counts
+    positions = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(offsets, counts)
+        + np.repeat(starts, counts)
+    )
+    return positions, counts
 
 
 @dataclass
@@ -93,11 +182,18 @@ class _SamplerMetrics:
 
 
 class SageSampler(_SamplerMetrics):
-    """k-hop capped neighbourhood sampling (GraphSAGE style)."""
+    """k-hop capped neighbourhood sampling (GraphSAGE style).
+
+    ``reference=True`` switches to the scalar per-node walk (the
+    executable spec); the default vectorized path returns identical
+    subgraphs — see the module docstring for the contract.
+    """
 
     _metric_label = "sage"
 
-    def __init__(self, hops: int = 2, fanout: int = 10, seed: int = 0) -> None:
+    def __init__(
+        self, hops: int = 2, fanout: int = 10, seed: int = 0, reference: bool = False
+    ) -> None:
         super().__init__()
         if hops < 1:
             raise ValueError("hops must be >= 1")
@@ -105,7 +201,13 @@ class SageSampler(_SamplerMetrics):
             raise ValueError("fanout must be >= 1")
         self.hops = hops
         self.fanout = fanout
-        self.rng = np.random.default_rng(seed)
+        self.seed = seed
+        self.reference = reference
+        self._edge_salt = _salt(seed)
+
+    def cache_key(self) -> Tuple:
+        """Configuration identity for :class:`~repro.graph.cache.SubgraphCache`."""
+        return ("sage", self.hops, self.fanout, self.seed)
 
     def sample(
         self, graph: HeteroGraph, targets: Sequence[int], deadline=None
@@ -120,29 +222,90 @@ class SageSampler(_SamplerMetrics):
         instrumented = self._sample_seconds is not None
         sample_started = self._metrics_clock() if instrumented else 0.0
         targets = np.asarray(targets, dtype=np.int64)
-        visited: Dict[int, None] = {int(t): None for t in targets}
+        unique_targets = _first_occurrence_unique(targets)
+        if self.reference:
+            nodes = self._expand_reference(graph, unique_targets, deadline, instrumented)
+        else:
+            nodes = self._expand_fast(graph, unique_targets, deadline, instrumented)
+        result = _induce(graph, nodes, targets)
+        if instrumented:
+            self._record_sample(self._metrics_clock() - sample_started)
+        return result
+
+    # -- fast path ------------------------------------------------------
+    def _expand_fast(
+        self, graph: HeteroGraph, unique_targets: np.ndarray, deadline, instrumented: bool
+    ) -> np.ndarray:
+        indptr, src_sorted, _ = graph.csr()
+        visited = np.zeros(graph.num_nodes, dtype=bool)
+        visited[unique_targets] = True
+        frontier = unique_targets
+        discovered: List[np.ndarray] = []
+        for hop in range(self.hops):
+            if deadline is not None:
+                deadline.check(f"sampling hop {hop}")
+            hop_started = self._metrics_clock() if instrumented else 0.0
+            if len(frontier):
+                kept = self._select_edges_fast(indptr, frontier)
+                neighbors = src_sorted[kept]
+                fresh = np.unique(neighbors[~visited[neighbors]])
+                visited[fresh] = True
+                discovered.append(fresh)
+                frontier = fresh
+            if instrumented:
+                self._record_hop(self._metrics_clock() - hop_started)
+        rest = np.sort(np.concatenate(discovered)) if discovered else _EMPTY
+        return np.concatenate([unique_targets, rest])
+
+    def _select_edges_fast(self, indptr: np.ndarray, frontier: np.ndarray) -> np.ndarray:
+        """CSR positions of the ≤ ``fanout`` kept in-edges of every
+        frontier node — the per-segment smallest hash keys, all at once."""
+        positions, counts = _concat_csr_slices(indptr, frontier)
+        total = len(positions)
+        if total == 0:
+            return _EMPTY
+        if int(counts.max()) <= self.fanout:
+            return positions
+        keys = _hash_uniform(positions, self._edge_salt)
+        segments = np.repeat(np.arange(len(frontier), dtype=np.int64), counts)
+        order = np.lexsort((keys, segments))
+        offsets = np.cumsum(counts) - counts
+        rank = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+        return positions[order][rank < self.fanout]
+
+    # -- reference path -------------------------------------------------
+    def _expand_reference(
+        self, graph: HeteroGraph, unique_targets: np.ndarray, deadline, instrumented: bool
+    ) -> np.ndarray:
+        indptr, src_sorted, _ = graph.csr()
+        visited: Dict[int, None] = {int(t): None for t in unique_targets}
         frontier = list(visited.keys())
+        discovered: List[int] = []
         for hop in range(self.hops):
             if deadline is not None:
                 deadline.check(f"sampling hop {hop}")
             hop_started = self._metrics_clock() if instrumented else 0.0
             next_frontier: List[int] = []
             for node in frontier:
-                neighbors = graph.in_neighbors(node)
-                if len(neighbors) > self.fanout:
-                    neighbors = self.rng.choice(neighbors, size=self.fanout, replace=False)
-                for neighbor in neighbors:
-                    neighbor = int(neighbor)
+                for position in self._select_edges_scalar(indptr, node):
+                    neighbor = int(src_sorted[position])
                     if neighbor not in visited:
                         visited[neighbor] = None
                         next_frontier.append(neighbor)
             frontier = next_frontier
+            discovered.extend(next_frontier)
             if instrumented:
                 self._record_hop(self._metrics_clock() - hop_started)
-        result = _induce(graph, np.fromiter(visited.keys(), dtype=np.int64), targets)
-        if instrumented:
-            self._record_sample(self._metrics_clock() - sample_started)
-        return result
+        rest = np.sort(np.asarray(discovered, dtype=np.int64)) if discovered else _EMPTY
+        return np.concatenate([unique_targets, rest])
+
+    def _select_edges_scalar(self, indptr: np.ndarray, node: int) -> np.ndarray:
+        start, end = int(indptr[node]), int(indptr[node + 1])
+        positions = np.arange(start, end, dtype=np.int64)
+        if end - start <= self.fanout:
+            return positions
+        keys = _hash_uniform(positions, self._edge_salt)
+        return positions[np.argsort(keys, kind="stable")[: self.fanout]]
 
 
 class HGSampler(_SamplerMetrics):
@@ -153,11 +316,18 @@ class HGSampler(_SamplerMetrics):
     time to favour nodes tightly connected to the sampled set. Each of
     ``depth`` steps draws up to ``width`` nodes *for every node type*,
     which forces similar per-type counts in the output subgraph.
+
+    Weighted draws use the Efraimidis–Spirakis exponential race
+    (``-log(u) / w`` smallest-k) over the stateless hash, so the
+    vectorized fast path and the ``reference=True`` scalar path select
+    identical nodes for a fixed seed.
     """
 
     _metric_label = "hg"
 
-    def __init__(self, depth: int = 2, width: int = 8, seed: int = 0) -> None:
+    def __init__(
+        self, depth: int = 2, width: int = 8, seed: int = 0, reference: bool = False
+    ) -> None:
         super().__init__()
         if depth < 1:
             raise ValueError("depth must be >= 1")
@@ -165,7 +335,12 @@ class HGSampler(_SamplerMetrics):
             raise ValueError("width must be >= 1")
         self.depth = depth
         self.width = width
-        self.rng = np.random.default_rng(seed)
+        self.seed = seed
+        self.reference = reference
+
+    def cache_key(self) -> Tuple:
+        """Configuration identity for :class:`~repro.graph.cache.SubgraphCache`."""
+        return ("hg", self.depth, self.width, self.seed)
 
     def sample(
         self, graph: HeteroGraph, targets: Sequence[int], deadline=None
@@ -178,8 +353,108 @@ class HGSampler(_SamplerMetrics):
         instrumented = self._sample_seconds is not None
         sample_started = self._metrics_clock() if instrumented else 0.0
         targets = np.asarray(targets, dtype=np.int64)
+        unique_targets = _first_occurrence_unique(targets)
+        if self.reference:
+            nodes = self._expand_reference(graph, unique_targets, deadline, instrumented)
+        else:
+            nodes = self._expand_fast(graph, unique_targets, deadline, instrumented)
+        result = _induce(graph, nodes, targets)
+        if instrumented:
+            self._record_sample(self._metrics_clock() - sample_started)
+        return result
+
+    def _draw(self, candidates: np.ndarray, weights: np.ndarray, step: int) -> np.ndarray:
+        """Up to ``width`` candidates, weighted without replacement,
+        returned ascending. Exponential-race keys over the stateless
+        hash: identical picks for identical ``(candidates, weights,
+        seed, step)`` regardless of candidate order."""
+        uniforms = _hash_uniform(candidates, _salt(self.seed, step + 1))
+        keys = -np.log(uniforms) / weights
+        count = min(self.width, len(candidates))
+        chosen = candidates[np.lexsort((candidates, keys))[:count]]
+        return np.sort(chosen)
+
+    # -- fast path ------------------------------------------------------
+    def _expand_fast(
+        self, graph: HeteroGraph, unique_targets: np.ndarray, deadline, instrumented: bool
+    ) -> np.ndarray:
+        indptr, src_sorted, _ = graph.csr()
+        inverse_degree = 1.0 / np.maximum(graph.degree(), 1).astype(np.float64)
+        num_nodes = graph.num_nodes
+        score = np.zeros(num_nodes, dtype=np.float64)
+        in_budget = np.zeros(num_nodes, dtype=bool)
+        sampled = np.zeros(num_nodes, dtype=bool)
+        sampled[unique_targets] = True
+        node_type = graph.node_type
+        # Budget membership tracked as an explicit id array (not a scan
+        # of the N-sized masks) so each step costs O(|budget|), never
+        # O(num_nodes) — the point of the fast path on a serving graph.
+        members = _EMPTY
+
+        def push(new_nodes: np.ndarray, members: np.ndarray) -> np.ndarray:
+            """Vectorized budget update for freshly sampled nodes.
+
+            ``np.add.at`` applies the additions in array order — the
+            same order the scalar reference walks nodes and their CSR
+            slices — so the accumulated float scores are bitwise equal
+            between paths. Returns the grown membership array.
+            """
+            positions, counts = _concat_csr_slices(indptr, new_nodes)
+            if len(positions) == 0:
+                return members
+            neighbors = src_sorted[positions]
+            weights = np.repeat(inverse_degree[new_nodes], counts)
+            live = ~sampled[neighbors]
+            neighbors = neighbors[live]
+            np.add.at(score, neighbors, weights[live])
+            fresh = np.unique(neighbors[~in_budget[neighbors]])
+            if len(fresh):
+                in_budget[fresh] = True
+                members = np.concatenate([members, fresh])
+            return members
+
+        members = push(unique_targets, members)
+        discovered: List[np.ndarray] = []
+        for step in range(self.depth):
+            if deadline is not None:
+                deadline.check(f"sampling step {step}")
+            step_started = self._metrics_clock() if instrumented else 0.0
+            if len(members):
+                # One segmented weighted draw across every type at once:
+                # sort by (type, race key, id) and keep the first
+                # ``width`` of each type segment — identical picks to
+                # the reference's per-type _draw calls.
+                member_types = node_type[members]
+                uniforms = _hash_uniform(members, _salt(self.seed, step + 1))
+                keys = -np.log(uniforms) / score[members] ** 2
+                order = np.lexsort((members, keys, member_types))
+                counts = np.bincount(member_types, minlength=len(NODE_TYPES))
+                present = counts[counts > 0]
+                offsets = np.cumsum(present) - present
+                rank = np.arange(len(members), dtype=np.int64) - np.repeat(
+                    offsets, present
+                )
+                take = order[rank < self.width]
+                chosen = members[take]
+                # Reference emission order: type-major, id-ascending.
+                new_nodes = chosen[np.lexsort((chosen, member_types[take]))]
+                sampled[new_nodes] = True
+                in_budget[new_nodes] = False
+                score[new_nodes] = 0.0
+                discovered.append(new_nodes)
+                members = members[~sampled[members]]
+                members = push(new_nodes, members)
+            if instrumented:
+                self._record_hop(self._metrics_clock() - step_started)
+        rest = np.sort(np.concatenate(discovered)) if discovered else _EMPTY
+        return np.concatenate([unique_targets, rest])
+
+    # -- reference path -------------------------------------------------
+    def _expand_reference(
+        self, graph: HeteroGraph, unique_targets: np.ndarray, deadline, instrumented: bool
+    ) -> np.ndarray:
         degree = np.maximum(graph.degree(), 1)
-        sampled: Dict[int, None] = {int(t): None for t in targets}
+        sampled: Dict[int, None] = {int(t): None for t in unique_targets}
         budgets: List[Dict[int, float]] = [dict() for _ in NODE_TYPES]
 
         def add_to_budget(node: int) -> None:
@@ -194,6 +469,7 @@ class HGSampler(_SamplerMetrics):
         for target in sampled:
             add_to_budget(target)
 
+        discovered: List[int] = []
         for step in range(self.depth):
             if deadline is not None:
                 deadline.check(f"sampling step {step}")
@@ -203,38 +479,33 @@ class HGSampler(_SamplerMetrics):
                 if not type_budget:
                     continue
                 candidates = np.fromiter(type_budget.keys(), dtype=np.int64)
-                scores = np.fromiter(type_budget.values(), dtype=np.float64) ** 2
-                total = scores.sum()
-                if total <= 0:
-                    probabilities = np.full(len(candidates), 1.0 / len(candidates))
-                else:
-                    probabilities = scores / total
-                count = min(self.width, len(candidates))
-                chosen = self.rng.choice(candidates, size=count, replace=False, p=probabilities)
+                weights = np.fromiter(type_budget.values(), dtype=np.float64) ** 2
+                chosen = self._draw(candidates, weights, step)
                 newly_sampled.extend(int(c) for c in chosen)
             for node in newly_sampled:
                 sampled[node] = None
                 budgets[graph.node_type[node]].pop(node, None)
             for node in newly_sampled:
                 add_to_budget(node)
+            discovered.extend(newly_sampled)
             if instrumented:
                 self._record_hop(self._metrics_clock() - step_started)
-
-        result = _induce(graph, np.fromiter(sampled.keys(), dtype=np.int64), targets)
-        if instrumented:
-            self._record_sample(self._metrics_clock() - sample_started)
-        return result
+        rest = np.sort(np.asarray(discovered, dtype=np.int64)) if discovered else _EMPTY
+        return np.concatenate([unique_targets, rest])
 
 
 def _induce(graph: HeteroGraph, nodes: np.ndarray, targets: np.ndarray) -> SampledSubgraph:
+    """Induce the subgraph and locate the targets — no Python dict.
+
+    The position map is a sorted lookup (``argsort`` + ``searchsorted``)
+    over the canonical node order, O(k log k) instead of the former
+    O(k) dict build + per-target Python hashing.
+    """
     subgraph, original_ids = graph.subgraph(nodes)
-    position = {int(node): i for i, node in enumerate(original_ids)}
-    target_local = np.array([position[int(t)] for t in targets], dtype=np.int64)
+    if len(targets):
+        sorter = np.argsort(original_ids, kind="stable")
+        target_local = sorter[np.searchsorted(original_ids, targets, sorter=sorter)]
+        target_local = target_local.astype(np.int64)
+    else:
+        target_local = _EMPTY
     return SampledSubgraph(graph=subgraph, target_local=target_local, original_ids=original_ids)
-
-
-def batched(items: np.ndarray, batch_size: int) -> List[np.ndarray]:
-    """Split an index array into consecutive batches."""
-    if batch_size < 1:
-        raise ValueError("batch_size must be >= 1")
-    return [items[i : i + batch_size] for i in range(0, len(items), batch_size)]

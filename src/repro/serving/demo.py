@@ -27,6 +27,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..data import load_dataset
+from ..graph.cache import SubgraphCache
 from ..models import DetectorConfig, XFraudDetectorPlus
 from ..obs.registry import MetricsRegistry
 from ..obs.trace import Tracer
@@ -59,6 +60,8 @@ def build_demo_service(
     deadline_s: float = 0.5,
     registry: Optional[MetricsRegistry] = None,
     trace: bool = False,
+    batch_size: Optional[int] = None,
+    cache_capacity: int = 256,
 ) -> Tuple[ScoringService, "np.ndarray", ManualClock]:
     """Assemble the chaos-instrumented service; returns (service, test_nodes, clock).
 
@@ -66,6 +69,10 @@ def build_demo_service(
     ``trace`` attaches a :class:`~repro.obs.trace.Tracer` on the demo's
     :class:`ManualClock`, so span timestamps live on the same simulated
     timeline as the scripted outage (reach it via ``service.tracer``).
+    ``batch_size`` bounds the serving micro-batches (``None`` = one
+    coalesced batch per ``score_batch``/``drain`` call); the subgraph
+    cache (``cache_capacity`` entries) fronts every sampler call and
+    reports hit/miss/eviction counters through ``registry``.
     """
     bundle = load_dataset("ebay-small-sim", seed=seed, scale=scale)
     graph = bundle.graph
@@ -100,6 +107,7 @@ def build_demo_service(
         breaker_half_open_probes=1,
         retry=RetryPolicy(max_attempts=2, base_delay=0.001, seed=seed),
         static_prior=float(graph.fraud_rate()),
+        batch_size=batch_size,
     )
     tracer = Tracer(clock=clock) if trace else None
     service = ScoringService(
@@ -112,6 +120,7 @@ def build_demo_service(
         own_store=True,
         tracer=tracer,
         registry=registry,
+        cache=SubgraphCache(capacity=cache_capacity),
     )
     return service, np.asarray(bundle.test_nodes, dtype=np.int64), clock
 
@@ -124,10 +133,16 @@ def run_demo(
     burst: int = 20,
     registry: Optional[MetricsRegistry] = None,
     trace: bool = False,
+    batch_size: Optional[int] = None,
 ) -> DemoResult:
     """Replay the scripted incident; see the module docstring for acts."""
     service, test_nodes, clock = build_demo_service(
-        seed=seed, scale=scale, epochs=epochs, registry=registry, trace=trace
+        seed=seed,
+        scale=scale,
+        epochs=epochs,
+        registry=registry,
+        trace=trace,
+        batch_size=batch_size,
     )
     nodes = test_nodes[:requests]
 

@@ -34,8 +34,9 @@ from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..graph.cache import SubgraphCache
 from ..graph.hetero import HeteroGraph
-from ..graph.sampling import batched
+from ..util import batched
 from ..obs.registry import MetricsRegistry
 from ..obs.trace import NULL_TRACER, Tracer
 from ..reliability.retry import RetryPolicy, TransientReadError, retry_call
@@ -70,6 +71,11 @@ class ServiceConfig:
     rate: float = float("inf")  # admitted requests/s (inf = unlimited)
     burst: float = 128.0  # token-bucket capacity
     fetch_chunk: int = 32  # feature rows per breaker-guarded read
+    # Micro-batching: requests per coalesced sampler-call/forward in
+    # score_batch / drain. None = coalesce the whole call into one
+    # micro-batch (one forward per degradation rung, however many
+    # requests arrive together).
+    batch_size: Optional[int] = None
     breaker_failure_threshold: float = 0.5
     breaker_window: int = 8
     breaker_min_calls: int = 4
@@ -84,6 +90,8 @@ class ServiceConfig:
             raise ValueError("static_prior must be within [0, 1]")
         if self.fetch_chunk < 1:
             raise ValueError("fetch_chunk must be >= 1")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1 (or None for unbounded)")
 
 
 @dataclass
@@ -114,6 +122,70 @@ class ScoreResponse:
     shed_reason: Optional[str] = None
     degraded_reason: Optional[str] = None
     deadline_remaining_s: Optional[float] = None
+
+
+class _BatchMember:
+    """One request's mutable state while it rides a micro-batch."""
+
+    __slots__ = ("request", "deadline", "degraded_reason", "rung", "score")
+
+    def __init__(self, request: ScoreRequest, deadline: Deadline) -> None:
+        self.request = request
+        self.deadline = deadline
+        self.degraded_reason: Optional[str] = None
+        self.rung: Optional[str] = None
+        self.score: float = 0.0
+
+    @property
+    def live(self) -> bool:
+        """Still on the GNN rung: no degradation recorded yet."""
+        return self.degraded_reason is None
+
+
+class _DeadlineGroup:
+    """Duck-typed deadline over every request in one micro-batch.
+
+    Samplers and the KV fetch path accept any object with ``check`` /
+    ``remaining``; this one fans a stage check out to each member's own
+    :class:`Deadline`. A member whose budget is spent is *individually*
+    demoted — it records the same ``deadline:<stage>`` reason it would
+    have received on the sequential path and drops out of the batch —
+    while the survivors keep going. Only when every member has expired
+    does ``check`` raise, aborting the shared work. That is how a batch
+    preserves per-request deadline verdicts: expiry is per member, the
+    exception is per batch.
+    """
+
+    def __init__(self, members: Sequence[_BatchMember], on_expire: Callable) -> None:
+        self._members = list(members)
+        self._on_expire = on_expire
+
+    @property
+    def live(self) -> List[_BatchMember]:
+        return [member for member in self._members if member.live]
+
+    def check(self, stage: str) -> None:
+        expired_all = True
+        for member in self._members:
+            if not member.live:
+                continue
+            if member.deadline.expired():
+                member.degraded_reason = f"deadline:{stage}"
+                self._on_expire(member)
+            else:
+                expired_all = False
+        if expired_all:
+            survivors = [m.deadline for m in self._members]
+            budget = max((d.budget_s for d in survivors), default=0.0)
+            elapsed = max((d.elapsed() for d in survivors), default=0.0)
+            raise DeadlineExceeded(stage, budget, elapsed)
+
+    def remaining(self) -> float:
+        """Budget of the healthiest member — the retry/backoff bound."""
+        return max((m.deadline.remaining() for m in self.live), default=0.0)
+
+    def expired(self) -> bool:
+        return not self.live
 
 
 class ScoringService:
@@ -151,6 +223,12 @@ class ScoringService:
         (``service_request_latency_seconds`` per rung,
         ``kv_read_seconds`` per feature chunk) and the model's
         neighbour sampler is instrumented with hop counters.
+    cache:
+        Optional :class:`~repro.graph.cache.SubgraphCache`. When set,
+        sampler calls (single-request and micro-batched) go through
+        ``cache.get_or_sample`` keyed on (targets, sampler config,
+        graph version); with a ``registry`` the cache's
+        hit/miss/eviction counters are exported automatically.
     """
 
     def __init__(
@@ -165,12 +243,16 @@ class ScoringService:
         own_store: bool = False,
         tracer: Optional[Tracer] = None,
         registry: Optional[MetricsRegistry] = None,
+        cache: Optional[SubgraphCache] = None,
     ) -> None:
         self.model = model
         self.graph = graph
         self.feature_store = feature_store
         self.rules = rules
         self.config = config or ServiceConfig()
+        self.cache = cache
+        if cache is not None and registry is not None:
+            cache.instrument(registry)
         self._clock = clock
         # Retry backoff sleeps on the same (possibly simulated) clock
         # the deadlines watch, so chaos tests see backoff burn budget.
@@ -239,7 +321,54 @@ class ScoringService:
             return response
 
     def score_batch(self, requests: Sequence[Union[int, ScoreRequest]]) -> List[ScoreResponse]:
-        return [self.score(request) for request in requests]
+        """Score many requests with micro-batched execution.
+
+        Admission is still per request — the token bucket is consulted
+        once per request in arrival order, so any request that would be
+        shed alone is shed here too, with the identical verdict. The
+        admitted remainder is coalesced into micro-batches of
+        ``config.batch_size`` (``None`` = all at once), each executing
+        ONE sampler call over the union of targets, ONE batched KV
+        feature fetch, and one ``no_grad`` forward per degradation rung
+        actually used — not one per request. Responses come back in
+        request order.
+        """
+        coerced = [self._coerce(request) for request in requests]
+        responses: List[Optional[ScoreResponse]] = [None] * len(coerced)
+        admitted: List[int] = []
+        for position, request in enumerate(coerced):
+            with self.tracer.span("admission", node=request.node) as admission:
+                ok = self.bucket.try_acquire()
+                admission.set("admitted", ok)
+            if ok:
+                self.stats.record_admitted()
+                admitted.append(position)
+            else:
+                self.stats.record_shed(SHED_RATE_LIMITED)
+                responses[position] = self._shed_response(request, SHED_RATE_LIMITED)
+        batch_size = self.config.batch_size or max(len(admitted), 1)
+        for positions in batched(admitted, batch_size):
+            group_responses = self._score_admitted_batch(
+                [coerced[p] for p in positions]
+            )
+            for position, response in zip(positions, group_responses):
+                responses[position] = response
+        return [response for response in responses if response is not None]
+
+    def warm_cache(self, targets: Sequence[int]) -> int:
+        """Pre-sample hot targets into the subgraph cache (no scoring).
+
+        Returns the number of targets newly sampled; 0 when the service
+        has no cache or no sampler. Startup warming turns first-hit
+        latency into cache hits for known-hot buyers/cards.
+        """
+        sampler = getattr(self.model, "sampler", None)
+        if self.cache is None or sampler is None or not hasattr(sampler, "cache_key"):
+            return 0
+        before = self.cache.misses
+        for target in targets:
+            self.cache.get_or_sample(self.graph, sampler, [int(target)])
+        return self.cache.misses - before
 
     def submit(self, request: Union[int, ScoreRequest]) -> Optional[ScoreResponse]:
         """Enqueue a request; returns a shed response immediately when
@@ -254,13 +383,15 @@ class ScoringService:
         return None
 
     def drain(self) -> List[ScoreResponse]:
-        """Serve the queued backlog FIFO; one verdict per admitted request."""
+        """Serve the queued backlog FIFO, micro-batched; one verdict per
+        admitted request (admission already happened in :meth:`submit`)."""
+        backlog = list(self.queue.drain())
+        if not backlog:
+            return []
+        batch_size = self.config.batch_size or len(backlog)
         responses: List[ScoreResponse] = []
-        for request in self.queue.drain():
-            with self.tracer.span("request", node=request.node, queued=True) as span:
-                response = self._score_admitted(request)
-                span.set("rung", response.rung)
-                responses.append(response)
+        for group in batched(backlog, batch_size):
+            responses.extend(self._score_admitted_batch(group))
         return responses
 
     # -- internals ------------------------------------------------------
@@ -335,7 +466,149 @@ class ScoringService:
             deadline_remaining_s=deadline.remaining(),
         )
 
+    # -- micro-batched scoring ----------------------------------------
+    def _score_admitted_batch(self, requests: Sequence[ScoreRequest]) -> List[ScoreResponse]:
+        """Score already-admitted requests as ONE coalesced unit.
+
+        One sampler call over the union of targets, one batched KV
+        fetch, one forward per degradation rung used. Per-request
+        deadline semantics ride on :class:`_DeadlineGroup`; breaker and
+        KV failures demote every member still on the GNN rung, exactly
+        as they would have demoted each request scored alone.
+        """
+        if len(requests) == 1:
+            # A singleton batch gains nothing from coalescing; reuse the
+            # sequential path (identical spans, stats, and verdicts).
+            return [self._score_admitted(requests[0])]
+        started = self._clock()
+        members: List[_BatchMember] = []
+        for request in requests:
+            budget = (
+                request.deadline_s if request.deadline_s is not None else self.config.deadline_s
+            )
+            members.append(_BatchMember(request, Deadline(budget, clock=self._clock)))
+        group = _DeadlineGroup(members, on_expire=self._record_deadline_hit)
+        with self.tracer.span("batch", size=len(members)) as batch_span:
+            try:
+                self._gnn_score_batch(group)
+            except DeadlineExceeded:
+                pass  # every member already carries its deadline:<stage> reason
+            except CircuitOpenError:
+                for member in group.live:
+                    member.degraded_reason = "breaker_open"
+            except FeatureFetchError:
+                for member in group.live:
+                    member.degraded_reason = "kv_unavailable"
+            self._fallback_batch(members)
+            batch_span.set(
+                "gnn_scored", sum(1 for m in members if m.rung == RUNG_GNN)
+            )
+        responses: List[ScoreResponse] = []
+        latency = self._clock() - started
+        for member in members:
+            with self.tracer.span("request", node=member.request.node, batched=True) as span:
+                span.set("rung", member.rung)
+                if member.degraded_reason:
+                    span.set("degraded_reason", member.degraded_reason)
+            self.stats.record_response(member.rung, latency, member.degraded_reason)
+            label = int(self.graph.labels[member.request.node])
+            if label >= 0:
+                self.stats.record_outcome(label, member.score)
+            responses.append(
+                ScoreResponse(
+                    node=member.request.node,
+                    score=float(member.score),
+                    verdict=self._verdict(member.score),
+                    rung=member.rung,
+                    admitted=True,
+                    latency_s=latency,
+                    degraded_reason=member.degraded_reason,
+                    deadline_remaining_s=member.deadline.remaining(),
+                )
+            )
+        return responses
+
+    def _record_deadline_hit(self, member: _BatchMember) -> None:
+        self.stats.deadline_hits += 1
+
+    def _gnn_score_batch(self, group: _DeadlineGroup) -> None:
+        """Rung 0 for a whole micro-batch: assigns score+rung to every
+        member that survives sampling, fetch, and forward."""
+        group.check("admission")
+        sampler = getattr(self.model, "sampler", None)
+        if sampler is None:
+            if self.feature_store is not None:
+                targets = np.array([m.request.node for m in group.live], dtype=np.int64)
+                with self.tracer.span("feature_fetch", rows=int(len(targets))):
+                    self._fetch_features(targets, group)
+            group.check("model forward")
+            live = group.live
+            with self.tracer.span("forward", targets=len(live)):
+                probs = self.model.predict_proba(
+                    self.graph, [m.request.node for m in live]
+                )
+            for member, prob in zip(live, probs):
+                member.score, member.rung = float(prob), RUNG_GNN
+            return
+        cohort = group.live  # aligned 1:1 with the sampler's targets
+        targets = [member.request.node for member in cohort]
+        with self.tracer.span("sample", targets=len(targets)) as sample_span:
+            sampled = self._sample(sampler, targets, group)
+            sample_span.set("sampled_nodes", int(len(sampled.original_ids)))
+        forward_graph = sampled.graph
+        if self.feature_store is not None:
+            with self.tracer.span("feature_fetch", rows=int(len(sampled.original_ids))):
+                rows = self._fetch_features(sampled.original_ids, group)
+            # Hydrate onto an O(1) clone: the sampled subgraph may live
+            # in the SubgraphCache and must never carry another
+            # request's feature rows.
+            forward_graph = sampled.graph.with_features(
+                rows.astype(sampled.graph.txn_features.dtype, copy=False)
+            )
+        group.check("model forward")
+        live = [member for member in cohort if member.live]
+        locals_ = [
+            int(local)
+            for member, local in zip(cohort, sampled.target_local)
+            if member.live
+        ]
+        if not live:
+            return
+        with self.tracer.span("forward", targets=len(live)):
+            probs = self.model.predict_proba(forward_graph, locals_)
+        for member, prob in zip(live, probs):
+            member.score, member.rung = float(prob), RUNG_GNN
+
+    def _fallback_batch(self, members: Sequence[_BatchMember]) -> None:
+        """Rungs 1–2 for every member the GNN rung did not score: ONE
+        rules pass over the stacked request features, prior for the rest."""
+        pending = [member for member in members if member.rung is None]
+        if not pending:
+            return
+        with self.tracer.span("rung", batch=len(pending)) as rung_span:
+            if self.rules is not None and len(self.rules):
+                featured = [
+                    (member, self._request_features(member.request))
+                    for member in pending
+                ]
+                scoreable = [(m, f) for m, f in featured if f is not None]
+                if scoreable:
+                    matrix = np.stack([features for _, features in scoreable])
+                    scores = self.rules.risk_scores(matrix)
+                    for (member, _), score in zip(scoreable, scores):
+                        member.rung, member.score = RUNG_RULES, float(score)
+            for member in pending:
+                if member.rung is None:
+                    member.rung, member.score = RUNG_PRIOR, self.config.static_prior
+            rung_span.set("rules", sum(1 for m in pending if m.rung == RUNG_RULES))
+
     # -- rung 0: full GNN ----------------------------------------------
+    def _sample(self, sampler, targets: Sequence[int], deadline):
+        """Sampler call, via the subgraph cache when one is configured."""
+        if self.cache is not None and hasattr(sampler, "cache_key"):
+            return self.cache.get_or_sample(self.graph, sampler, targets, deadline=deadline)
+        return sampler.sample(self.graph, targets, deadline=deadline)
+
     def _gnn_score(self, request: ScoreRequest, deadline: Deadline) -> float:
         deadline.check("admission")
         sampler = getattr(self.model, "sampler", None)
@@ -349,17 +622,20 @@ class ScoringService:
             with self.tracer.span("forward"):
                 return float(self.model.predict_proba(self.graph, [request.node])[0])
         with self.tracer.span("sample") as sample_span:
-            sampled = sampler.sample(self.graph, [request.node], deadline=deadline)
+            sampled = self._sample(sampler, [request.node], deadline)
             sample_span.set("sampled_nodes", int(len(sampled.original_ids)))
+        forward_graph = sampled.graph
         if self.feature_store is not None:
             with self.tracer.span("feature_fetch", rows=int(len(sampled.original_ids))):
                 rows = self._fetch_features(sampled.original_ids, deadline)
-            sampled.graph.txn_features = rows.astype(
-                sampled.graph.txn_features.dtype, copy=False
+            # Never written in place: the subgraph may be shared via the
+            # SubgraphCache, so features ride an O(1) structural clone.
+            forward_graph = sampled.graph.with_features(
+                rows.astype(sampled.graph.txn_features.dtype, copy=False)
             )
         deadline.check("model forward")
         with self.tracer.span("forward"):
-            return float(self.model.predict_proba(sampled.graph, sampled.target_local)[0])
+            return float(self.model.predict_proba(forward_graph, sampled.target_local)[0])
 
     def _fetch_features(self, node_ids: np.ndarray, deadline: Deadline) -> np.ndarray:
         """Hydrate feature rows from the KV-store, retries inside the breaker.

@@ -27,7 +27,7 @@ import numpy as np
 from .. import nn
 from ..graph.hetero import HeteroGraph
 from ..graph.partition import group_partitions, pic_partition
-from ..graph.sampling import batched
+from ..util import batched
 from ..obs.trace import Tracer, timed
 from ..reliability.faults import CRASH, RECOVERY, STRAGGLER, FaultEvent, FaultPlan
 from .metrics import accuracy, average_precision, roc_auc

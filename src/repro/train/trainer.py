@@ -16,7 +16,7 @@ import numpy as np
 
 from .. import nn
 from ..graph.hetero import HeteroGraph
-from ..graph.sampling import batched
+from ..util import batched
 from ..obs.trace import Tracer, timed
 from ..reliability.checkpoint import (
     CheckpointManager,

@@ -1,0 +1,29 @@
+"""Small dependency-free helpers shared across layers.
+
+Lives at the package root (below ``graph``, ``train`` and ``serving``)
+so every layer can import it without cycles. :func:`batched` is the one
+index-slicing helper the whole stack shares — the training epoch loops,
+the KV feature-fetch chunking, and the serving micro-batch coalescer
+all cut sequences the same way.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T", bound=Sequence)
+
+__all__ = ["batched"]
+
+
+def batched(items: T, batch_size: int) -> List[T]:
+    """Split a sliceable sequence (numpy array, list) into consecutive batches.
+
+    Every item appears in exactly one batch, order preserved; the last
+    batch may be short. Works on anything supporting ``len`` and slice
+    indexing — index arrays in the trainers, request lists in the
+    serving micro-batcher.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    return [items[i : i + batch_size] for i in range(0, len(items), batch_size)]

@@ -1,0 +1,289 @@
+"""Vectorized sampler fast path: equivalence, caching, batch parity.
+
+The vectorized CSR path and the scalar reference path share one
+stateless hash RNG, so for a fixed seed they must return *identical*
+subgraphs — same nodes in the same order, same edges, same target
+positions. These tests pin that contract across degenerate graph
+shapes (sparse, hub-dominated, type-poor, edgeless) where an indexing
+bug would be easiest to hide, then cover the :class:`SubgraphCache`
+invalidation rules and the serving micro-batch parity guarantees.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    NODE_TYPE_IDS,
+    HeteroGraph,
+    HGSampler,
+    SageSampler,
+    SubgraphCache,
+)
+from repro.obs import MetricsRegistry
+from repro.reliability import ManualClock
+from repro.serving import (
+    RUNG_GNN,
+    SHED_RATE_LIMITED,
+    ScoringService,
+    ServiceConfig,
+)
+
+# -- graph shapes -------------------------------------------------------
+
+
+def _finish(node_types, links, num_txn, rng):
+    features = rng.normal(size=(len(node_types), 6))
+    features[num_txn:] = 0.0
+    labels = np.full(len(node_types), -1, dtype=np.int64)
+    labels[:num_txn] = rng.integers(0, 2, size=num_txn)
+    return HeteroGraph.from_links(node_types, links, features, labels=labels)
+
+
+def _sparse_graph() -> HeteroGraph:
+    """Many small components; most nodes have 1-2 edges."""
+    rng = np.random.default_rng(1)
+    num_txn, num_pmt, num_buyer = 40, 25, 15
+    node_types = (
+        [NODE_TYPE_IDS["txn"]] * num_txn
+        + [NODE_TYPE_IDS["pmt"]] * num_pmt
+        + [NODE_TYPE_IDS["buyer"]] * num_buyer
+    )
+    links = []
+    for txn in range(num_txn):
+        links.append((txn, num_txn + int(rng.integers(num_pmt))))
+        if rng.random() < 0.4:
+            links.append((txn, num_txn + num_pmt + int(rng.integers(num_buyer))))
+    return _finish(node_types, links, num_txn, rng)
+
+
+def _dense_hub_graph() -> HeteroGraph:
+    """A few hub entities whose in-degree far exceeds any fanout cap."""
+    rng = np.random.default_rng(2)
+    num_txn, num_pmt, num_buyer = 30, 3, 2
+    node_types = (
+        [NODE_TYPE_IDS["txn"]] * num_txn
+        + [NODE_TYPE_IDS["pmt"]] * num_pmt
+        + [NODE_TYPE_IDS["buyer"]] * num_buyer
+    )
+    links = []
+    for txn in range(num_txn):
+        for pmt in range(num_pmt):
+            links.append((txn, num_txn + pmt))
+        links.append((txn, num_txn + num_pmt + txn % num_buyer))
+    return _finish(node_types, links, num_txn, rng)
+
+
+def _two_type_graph() -> HeteroGraph:
+    """Only txn and email nodes: three of five node types are absent."""
+    rng = np.random.default_rng(3)
+    num_txn, num_email = 20, 8
+    node_types = [NODE_TYPE_IDS["txn"]] * num_txn + [NODE_TYPE_IDS["email"]] * num_email
+    links = [(txn, num_txn + txn % num_email) for txn in range(num_txn)]
+    return _finish(node_types, links, num_txn, rng)
+
+
+def _edgeless_graph() -> HeteroGraph:
+    """Isolated transactions: every sampled subgraph is the target alone."""
+    rng = np.random.default_rng(4)
+    num_txn = 12
+    node_types = [NODE_TYPE_IDS["txn"]] * num_txn
+    return _finish(node_types, [], num_txn, rng)
+
+
+GRAPH_BUILDERS = {
+    "sparse": _sparse_graph,
+    "dense_hubs": _dense_hub_graph,
+    "two_type": _two_type_graph,
+    "edgeless": _edgeless_graph,
+}
+
+SAMPLER_FACTORIES = {
+    "sage_h2f3": lambda reference: SageSampler(
+        hops=2, fanout=3, seed=11, reference=reference
+    ),
+    "sage_h3f10": lambda reference: SageSampler(
+        hops=3, fanout=10, seed=3, reference=reference
+    ),
+    "hg_d2w4": lambda reference: HGSampler(
+        depth=2, width=4, seed=11, reference=reference
+    ),
+    "hg_d4w8": lambda reference: HGSampler(
+        depth=4, width=8, seed=3, reference=reference
+    ),
+}
+
+
+def _assert_identical(fast, reference):
+    np.testing.assert_array_equal(fast.original_ids, reference.original_ids)
+    np.testing.assert_array_equal(fast.target_local, reference.target_local)
+    np.testing.assert_array_equal(fast.graph.node_type, reference.graph.node_type)
+    np.testing.assert_array_equal(fast.graph.edge_src, reference.graph.edge_src)
+    np.testing.assert_array_equal(fast.graph.edge_dst, reference.graph.edge_dst)
+    np.testing.assert_array_equal(fast.graph.edge_type, reference.graph.edge_type)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("graph_name", sorted(GRAPH_BUILDERS))
+    @pytest.mark.parametrize("sampler_name", sorted(SAMPLER_FACTORIES))
+    def test_fast_matches_reference_seed_for_seed(self, graph_name, sampler_name):
+        graph = GRAPH_BUILDERS[graph_name]()
+        fast = SAMPLER_FACTORIES[sampler_name](False)
+        reference = SAMPLER_FACTORIES[sampler_name](True)
+        txn = graph.txn_nodes
+        # A batch with duplicate targets, then singletons.
+        targets = np.concatenate([txn[:5], txn[:2]])
+        _assert_identical(fast.sample(graph, targets), reference.sample(graph, targets))
+        for target in txn[:3]:
+            _assert_identical(
+                fast.sample(graph, [int(target)]),
+                reference.sample(graph, [int(target)]),
+            )
+
+    @pytest.mark.parametrize("sampler_name", sorted(SAMPLER_FACTORIES))
+    def test_fast_matches_reference_on_built_graph(self, tiny_graph, sampler_name):
+        fast = SAMPLER_FACTORIES[sampler_name](False)
+        reference = SAMPLER_FACTORIES[sampler_name](True)
+        targets = tiny_graph.txn_nodes[:16]
+        _assert_identical(
+            fast.sample(tiny_graph, targets), reference.sample(tiny_graph, targets)
+        )
+
+    def test_sampled_features_and_targets_line_up(self):
+        graph = _sparse_graph()
+        sampler = SageSampler(hops=2, fanout=3, seed=0)
+        targets = graph.txn_nodes[:4]
+        sampled = sampler.sample(graph, targets)
+        np.testing.assert_array_equal(
+            sampled.original_ids[sampled.target_local], targets
+        )
+        np.testing.assert_allclose(
+            sampled.graph.txn_features, graph.txn_features[sampled.original_ids]
+        )
+
+
+class TestSubgraphCache:
+    def test_hit_after_miss(self):
+        graph = _sparse_graph()
+        sampler = SageSampler(hops=2, fanout=3, seed=0)
+        cache = SubgraphCache(capacity=8)
+        targets = graph.txn_nodes[:3].tolist()
+        first = cache.get_or_sample(graph, sampler, targets)
+        second = cache.get_or_sample(graph, sampler, targets)
+        assert (cache.misses, cache.hits) == (1, 1)
+        assert second is first
+        # A different sampler config is a different key, not a hit.
+        other = SageSampler(hops=2, fanout=4, seed=0)
+        cache.get_or_sample(graph, other, targets)
+        assert cache.misses == 2
+
+    def test_graph_mutation_invalidates(self):
+        graph = _sparse_graph()
+        sampler = SageSampler(hops=2, fanout=3, seed=0)
+        cache = SubgraphCache(capacity=8)
+        targets = graph.txn_nodes[:2].tolist()
+        cache.get_or_sample(graph, sampler, targets)
+        graph.mark_mutated()
+        cache.get_or_sample(graph, sampler, targets)
+        assert cache.hits == 0
+        assert cache.misses == 2
+        # The pre-mutation entry is stale; invalidate drops it.
+        cache.invalidate(graph)
+        assert len(cache) == 1
+        cache.get_or_sample(graph, sampler, targets)
+        assert cache.hits == 1
+
+    def test_lru_evicts_oldest(self):
+        graph = _sparse_graph()
+        sampler = SageSampler(hops=2, fanout=3, seed=0)
+        cache = SubgraphCache(capacity=2)
+        txn = graph.txn_nodes
+        for target in txn[:3]:
+            cache.get_or_sample(graph, sampler, [int(target)])
+        assert cache.evictions == 1
+        assert len(cache) == 2
+        # Oldest entry is gone; newest two are hits.
+        cache.get_or_sample(graph, sampler, [int(txn[1])])
+        cache.get_or_sample(graph, sampler, [int(txn[2])])
+        assert cache.hits == 2
+        cache.get_or_sample(graph, sampler, [int(txn[0])])
+        assert cache.misses == 4
+
+    def test_counters_exported_through_registry(self):
+        registry = MetricsRegistry()
+        graph = _sparse_graph()
+        sampler = SageSampler(hops=2, fanout=3, seed=0)
+        cache = SubgraphCache(capacity=1)
+        cache.instrument(registry)
+        txn = graph.txn_nodes
+        cache.get_or_sample(graph, sampler, [int(txn[0])])
+        cache.get_or_sample(graph, sampler, [int(txn[0])])
+        cache.get_or_sample(graph, sampler, [int(txn[1])])
+        text = registry.render()
+        assert 'subgraph_cache_hits_total{cache="subgraph"} 1' in text
+        assert 'subgraph_cache_misses_total{cache="subgraph"} 2' in text
+        assert 'subgraph_cache_evictions_total{cache="subgraph"} 1' in text
+
+
+class TestBatchParity:
+    @staticmethod
+    def _service(trained_detector, tiny_graph, **overrides):
+        config = ServiceConfig(
+            rate=overrides.pop("rate", float("inf")),
+            burst=overrides.pop("burst", 128.0),
+            static_prior=0.01,
+            **overrides,
+        )
+        return ScoringService(
+            trained_detector, tiny_graph, config=config, clock=ManualClock()
+        )
+
+    def test_shed_verdicts_match_sequential_scoring(
+        self, trained_detector, tiny_graph
+    ):
+        nodes = tiny_graph.txn_nodes[:5].tolist()
+        sequential_service = self._service(
+            trained_detector, tiny_graph, rate=1.0, burst=2.0
+        )
+        sequential = [sequential_service.score(node) for node in nodes]
+        batch_service = self._service(trained_detector, tiny_graph, rate=1.0, burst=2.0)
+        batch = batch_service.score_batch(nodes)
+        assert [r.admitted for r in batch] == [r.admitted for r in sequential]
+        assert [r.shed_reason for r in batch] == [r.shed_reason for r in sequential]
+        shed = [r for r in batch if not r.admitted]
+        assert shed and all(r.shed_reason == SHED_RATE_LIMITED for r in shed)
+        for ours, theirs in zip(batch, sequential):
+            if not ours.admitted:
+                assert ours.score == pytest.approx(theirs.score)
+                assert ours.verdict == theirs.verdict
+
+    def test_batch_executes_one_forward(
+        self, trained_detector, tiny_graph, monkeypatch
+    ):
+        service = self._service(trained_detector, tiny_graph)
+        calls = []
+        original = trained_detector.predict_proba
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(trained_detector, "predict_proba", counting)
+        responses = service.score_batch(tiny_graph.txn_nodes[:8].tolist())
+        assert len(calls) == 1
+        assert all(r.admitted and r.rung == RUNG_GNN for r in responses)
+
+    def test_service_reuses_cached_subgraphs(self, trained_detector, tiny_graph):
+        cache = SubgraphCache(capacity=64)
+        service = ScoringService(
+            trained_detector,
+            tiny_graph,
+            config=ServiceConfig(static_prior=0.01),
+            clock=ManualClock(),
+            cache=cache,
+        )
+        nodes = tiny_graph.txn_nodes[:4].tolist()
+        service.score_batch(nodes)
+        before = cache.hits
+        repeat = service.score_batch(nodes)
+        assert cache.hits > before
+        assert all(r.rung == RUNG_GNN for r in repeat)
