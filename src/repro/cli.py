@@ -9,6 +9,7 @@ Commands
 ``pipeline``      run the Appendix-B label pipeline and print each stage
 ``score``         score transactions through the online ScoringService
 ``serve``         replay the deterministic chaos demo (``--demo``)
+``healthcheck``   exercise a replicated feature tier and dump replica health
 ``bench-sampler`` time the vectorized sampler fast path vs the reference path
 
 Datasets are fully regenerable from (name, seed, scale), so commands
@@ -183,6 +184,51 @@ def _parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="micro-batch size for score_batch/drain (default: coalesce all)",
+    )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        metavar="N",
+        help="feature-store replicas; N > 1 turns the incident into a "
+        "replica kill + silent corruption handled by failover, hedging, "
+        "quarantine, and anti-entropy (service stays on the GNN rung)",
+    )
+    serve.add_argument(
+        "--hedge-quantile",
+        type=float,
+        default=0.95,
+        metavar="Q",
+        help="per-replica latency quantile that arms a hedged backup read",
+    )
+    serve.add_argument(
+        "--health",
+        action="store_true",
+        help="print the per-replica health table after the run (needs --replicas > 1)",
+    )
+
+    healthcheck = commands.add_parser(
+        "healthcheck",
+        help="exercise a replicated feature tier and dump per-replica health",
+    )
+    healthcheck.add_argument("--seed", type=int, default=0)
+    healthcheck.add_argument(
+        "--replicas", type=int, default=3, metavar="N", help="replica count"
+    )
+    healthcheck.add_argument(
+        "--keys", type=int, default=64, metavar="N", help="synthetic keys to write/read"
+    )
+    healthcheck.add_argument(
+        "--kill-replica",
+        type=int,
+        default=None,
+        metavar="R",
+        help="kill replica R for the middle third of the sweep (recovers before the end)",
+    )
+    healthcheck.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the Prometheus-text exposition (kv_replica_* gauges)",
     )
 
     bench_sampler = commands.add_parser(
@@ -411,14 +457,19 @@ def _cmd_serve(args) -> int:
     if args.batch_size is not None and args.batch_size < 1:
         print("error: --batch-size must be >= 1", file=sys.stderr)
         return 2
+    if args.replicas < 1:
+        print("error: --replicas must be >= 1", file=sys.stderr)
+        return 2
     registry = None
     if args.metrics:
         from .obs import MetricsRegistry
 
         registry = MetricsRegistry()
+    replicated = args.replicas > 1
+    tier = f"{args.replicas}-replica feature tier" if replicated else "single feature store"
     print(
         f"replaying scripted incident: {args.requests} requests + burst of "
-        f"{args.burst} on a simulated clock (seed={args.seed}) ..."
+        f"{args.burst} on a simulated clock (seed={args.seed}, {tier}) ..."
     )
     result = run_demo(
         seed=args.seed,
@@ -429,6 +480,8 @@ def _cmd_serve(args) -> int:
         registry=registry,
         trace=bool(args.trace_out),
         batch_size=args.batch_size,
+        replicas=args.replicas,
+        hedge_quantile=args.hedge_quantile,
     )
     transitions = " -> ".join(result.stats.breaker_state_path()) or "closed"
     for response in result.responses[:8]:
@@ -442,6 +495,11 @@ def _cmd_serve(args) -> int:
     print(result.stats.describe())
     print(f"\nbreaker journey : {transitions}")
     print(f"shed with verdict: {len(result.shed_responses)} (all rung=prior)")
+    if replicated and result.anti_entropy is not None:
+        print(result.anti_entropy.describe())
+    if args.health and result.feature_store is not None:
+        print()
+        print(result.feature_store.describe())
     if args.trace_out:
         from .obs import write_chrome_trace
 
@@ -450,6 +508,113 @@ def _cmd_serve(args) -> int:
     if registry is not None:
         print()
         print(registry.render(), end="")
+    if replicated:
+        return _check_replicated_run(result)
+    return 0
+
+
+def _check_replicated_run(result) -> int:
+    """CI-facing assertions for ``serve --demo --replicas N``: the
+    replica kill and silent corruption must be fully absorbed — zero
+    KV failures reach the service, no storage-attributed degradations,
+    at least one per-replica breaker journeys through open (proof the
+    failover actually exercised), and every breaker recovers."""
+    stats = result.stats
+    failures = []
+    if stats.kv_failures != 0:
+        failures.append(f"kv_failures={stats.kv_failures} (expected 0)")
+    storage_degraded = {
+        reason: count
+        for reason, count in stats.degraded_reasons.items()
+        if "kv" in reason or "feature" in reason or "storage" in reason
+    }
+    if storage_degraded:
+        failures.append(f"storage-attributed degradations: {storage_degraded}")
+    paths = stats.replica_breaker_paths()
+    if not any("open" in path for path in paths.values()):
+        failures.append("no replica breaker ever opened — failover not exercised")
+    not_recovered = {r: p for r, p in paths.items() if p and p[-1] != "closed"}
+    if not_recovered:
+        failures.append(f"replica breakers did not recover: {not_recovered}")
+    if result.anti_entropy is not None and result.anti_entropy.unrepairable:
+        failures.append(
+            f"anti-entropy left {result.anti_entropy.unrepairable} copies unrepairable"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("\nok: replica failover absorbed — zero storage-attributed degradations")
+    return 0
+
+
+def _cmd_healthcheck(args) -> int:
+    """Exercise a small replicated tier end to end and print its health.
+
+    Synthetic and self-contained: N in-memory replicas on a simulated
+    clock, a write + read sweep over ``--keys`` keys, optionally a
+    scripted kill of one replica for the middle third of the sweep, an
+    anti-entropy pass, and finally the per-replica health table (plus
+    the Prometheus text exposition with ``--metrics``). Exits 1 if any
+    replica is still dead at the end — the shape a real deployment's
+    liveness probe would take.
+    """
+    from .obs import MetricsRegistry
+    from .reliability.faults import FaultPlan, ManualClock, SlowKVStore
+    from .storage import InMemoryKVStore, ReplicatedConfig, ReplicatedKVStore
+
+    if args.replicas < 1 or args.keys < 1:
+        print("error: --replicas and --keys must be >= 1", file=sys.stderr)
+        return 2
+    if args.kill_replica is not None and not (0 <= args.kill_replica < args.replicas):
+        print("error: --kill-replica out of range", file=sys.stderr)
+        return 2
+
+    clock = ManualClock()
+    registry = MetricsRegistry()
+    backings = [InMemoryKVStore() for _ in range(args.replicas)]
+    replicas = [SlowKVStore(b, clock, delay_s=0.001) for b in backings]
+    # One read per key advances the clock ~1ms; the kill window covers
+    # the middle third of the sweep and ends well before the final
+    # probe reads, so a healthy run always recovers.
+    sweep_s = args.keys * 0.001
+    replica_kill = {}
+    if args.kill_replica is not None:
+        replica_kill = {args.kill_replica: [(sweep_s / 3.0, 2.0 * sweep_s / 3.0)]}
+    plan = FaultPlan(num_workers=args.replicas, seed=args.seed, replica_kill=replica_kill)
+    config = ReplicatedConfig(
+        replication_factor=min(2, args.replicas),
+        suspect_after=1,
+        dead_after=2,
+        probe_interval_s=sweep_s / 10.0,
+        concurrent_hedge=False,
+    )
+    store = ReplicatedKVStore(
+        plan.wrap_replicas(replicas, clock), config=config, clock=clock, seed=args.seed
+    ).instrument(registry)
+
+    for index in range(args.keys):
+        store.put(f"hc/{index}", f"value-{index}".encode())
+    for _ in range(3):  # three sweeps: before, during, and after the kill
+        for index in range(args.keys):
+            store.get(f"hc/{index}")
+    report = store.anti_entropy(repair=True)
+    clock.advance(config.probe_interval_s * 2)
+    for index in range(args.keys):  # final sweep re-probes anything dead
+        store.get(f"hc/{index}")
+    store.export_health()  # refresh the kv_replica_* gauges
+
+    print(store.describe())
+    print()
+    print(report.describe())
+    if args.metrics:
+        print()
+        print(registry.render(), end="")
+    dead = [health.index for health in store.health if health.state == "dead"]
+    if dead:
+        print(f"\nFAIL: replicas still dead at end of sweep: {dead}", file=sys.stderr)
+        return 1
+    print("\nok: all replicas serving")
     return 0
 
 
@@ -509,6 +674,7 @@ _COMMANDS = {
     "pipeline": _cmd_pipeline,
     "score": _cmd_score,
     "serve": _cmd_serve,
+    "healthcheck": _cmd_healthcheck,
     "bench-sampler": _cmd_bench_sampler,
 }
 

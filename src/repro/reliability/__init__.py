@@ -16,11 +16,13 @@ from .checkpoint import (
     restore_rng_states,
 )
 from .faults import (
+    CorruptKVStore,
     FaultEvent,
     FaultPlan,
     FlakyKVStore,
     ManualClock,
     OutageKVStore,
+    SleepKVStore,
     SlowKVStore,
 )
 from .retry import RetryPolicy, RetryingKVStore, TransientReadError, retry_call
@@ -32,11 +34,13 @@ __all__ = [
     "atomic_write_bytes",
     "collect_rng_states",
     "restore_rng_states",
+    "CorruptKVStore",
     "FaultEvent",
     "FaultPlan",
     "FlakyKVStore",
     "ManualClock",
     "OutageKVStore",
+    "SleepKVStore",
     "SlowKVStore",
     "RetryPolicy",
     "RetryingKVStore",

@@ -12,6 +12,8 @@ next, with every event recorded in the epoch history.
 
 from __future__ import annotations
 
+import time
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -72,6 +74,13 @@ class FaultPlan:
     (epoch -> worker ids) overrides the probabilistic draw for those
     epochs. At least one worker always survives: a synchronous cluster
     with zero live workers has nothing to degrade to.
+
+    The same plan also scripts *storage-replica* faults for a
+    :class:`~repro.storage.replicated.ReplicatedKVStore`:
+    ``replica_kill`` (replica -> outage windows), ``replica_corrupt``
+    (replica -> bit-flip windows) and ``replica_slow`` (replica ->
+    per-read delay) are applied by :meth:`wrap_replicas`, which layers
+    the matching fault injector around each replica store.
     """
 
     def __init__(
@@ -82,6 +91,9 @@ class FaultPlan:
         straggler_slowdown: float = 3.0,
         max_failures_per_epoch: Optional[int] = None,
         crash_schedule: Optional[Mapping[int, Sequence[int]]] = None,
+        replica_kill: Optional[Mapping[int, Sequence[Tuple[float, float]]]] = None,
+        replica_corrupt: Optional[Mapping[int, Sequence[Tuple[float, float]]]] = None,
+        replica_slow: Optional[Mapping[int, float]] = None,
         seed: int = 0,
     ) -> None:
         if num_workers < 1:
@@ -100,7 +112,63 @@ class FaultPlan:
             if crash_schedule
             else {}
         )
+        self.replica_kill = self._windows_by_replica(replica_kill)
+        self.replica_corrupt = self._windows_by_replica(replica_corrupt)
+        self.replica_slow = (
+            {int(r): float(d) for r, d in replica_slow.items()} if replica_slow else {}
+        )
+        for replica, delay in self.replica_slow.items():
+            if delay < 0:
+                raise ValueError(f"replica_slow[{replica}] must be >= 0")
         self.seed = seed
+
+    @staticmethod
+    def _windows_by_replica(
+        schedule: Optional[Mapping[int, Sequence[Tuple[float, float]]]]
+    ) -> Dict[int, List[Tuple[float, float]]]:
+        if not schedule:
+            return {}
+        validated: Dict[int, List[Tuple[float, float]]] = {}
+        for replica, windows in schedule.items():
+            for start, stop in windows:
+                if start < 0 or stop < start:
+                    raise ValueError(
+                        f"bad fault window ({start}, {stop}) for replica {replica}"
+                    )
+            validated[int(replica)] = [(float(a), float(b)) for a, b in windows]
+        return validated
+
+    def wrap_replicas(
+        self, stores: Sequence[KVStore], clock: Optional[ManualClock] = None
+    ) -> List[KVStore]:
+        """Layer this plan's replica faults around each store in order.
+
+        Stacking order per replica (outermost first): kill (outage) →
+        corrupt → slow — so a killed replica fails fast without
+        advancing simulated time, and corruption applies to bytes the
+        (possibly slowed) inner read produced. Replica indices outside
+        ``stores`` are ignored, mirroring ``crash_schedule``.
+        """
+        if self.replica_slow and clock is None:
+            raise ValueError("replica_slow needs a ManualClock to advance")
+        wrapped: List[KVStore] = []
+        for index, store in enumerate(stores):
+            layered = store
+            if index in self.replica_slow:
+                layered = SlowKVStore(layered, clock, delay_s=self.replica_slow[index])
+            if index in self.replica_corrupt:
+                layered = CorruptKVStore(
+                    layered,
+                    windows=self.replica_corrupt[index],
+                    clock=clock,
+                    seed=self.seed * 1000003 + index,
+                )
+            if index in self.replica_kill:
+                layered = OutageKVStore(
+                    layered, windows=self.replica_kill[index], clock=clock
+                )
+            wrapped.append(layered)
+        return wrapped
 
     def epoch_faults(self, epoch: int) -> Dict[int, str]:
         """Worker-id -> fault kind for one synchronisation round."""
@@ -252,6 +320,94 @@ class SlowKVStore(KVStore):
     def get(self, key: str) -> bytes:
         self.clock.advance(self.delay_s)
         return self.store.get(key)
+
+    def put(self, key: str, value: bytes) -> None:
+        self.store.put(key, value)
+
+    def contains(self, key: str) -> bool:
+        return self.store.contains(key)
+
+    def keys(self) -> List[str]:
+        return self.store.keys()
+
+    def close(self) -> None:
+        self.store.close()
+
+
+class SleepKVStore(KVStore):
+    """A *real-time* straggler: each read blocks ``delay_s`` of wall
+    clock. The wall-clock sibling of :class:`SlowKVStore`, for
+    benchmarks (and hedging tests) that measure true latency rather
+    than simulated time. ``delay_s`` is mutable, so a scenario can slow
+    one replica mid-run."""
+
+    def __init__(self, store: KVStore, delay_s: float = 0.001) -> None:
+        if delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+        self.store = store
+        self.delay_s = float(delay_s)
+
+    def get(self, key: str) -> bytes:
+        time.sleep(self.delay_s)
+        return self.store.get(key)
+
+    def put(self, key: str, value: bytes) -> None:
+        self.store.put(key, value)
+
+    def contains(self, key: str) -> bool:
+        return self.store.contains(key)
+
+    def keys(self) -> List[str]:
+        return self.store.keys()
+
+    def close(self) -> None:
+        self.store.close()
+
+
+class CorruptKVStore(KVStore):
+    """Deterministically bit-flip values read during scripted windows.
+
+    The *quiet* failure mode checksums exist for: unlike
+    :class:`OutageKVStore`'s loud errors, a corrupt read returns
+    successfully — with garbage bytes. The flipped byte position is a
+    pure function of ``(seed, key)``, so a given key is corrupted the
+    same way on every read in a window. Windows follow
+    :class:`OutageKVStore` semantics: clock seconds with a ``clock``,
+    global 0-based read indices without.
+    """
+
+    def __init__(
+        self,
+        store: KVStore,
+        windows: Sequence[Tuple[float, float]] = (),
+        clock: Optional[ManualClock] = None,
+        seed: int = 0,
+    ) -> None:
+        for start, stop in windows:
+            if start < 0 or stop < start:
+                raise ValueError(f"bad corruption window ({start}, {stop})")
+        self.store = store
+        self.windows = [(float(start), float(stop)) for start, stop in windows]
+        self.clock = clock
+        self.seed = int(seed)
+        self.reads = 0
+        self.injected = 0
+
+    def _corrupting(self, position: float) -> bool:
+        return any(start <= position < stop for start, stop in self.windows)
+
+    def get(self, key: str) -> bytes:
+        index = self.reads
+        self.reads += 1
+        value = self.store.get(key)
+        position = float(self.clock()) if self.clock is not None else float(index)
+        if self._corrupting(position) and value:
+            self.injected += 1
+            flipped = bytearray(value)
+            slot = (zlib.crc32(key.encode("utf-8")) ^ self.seed) % len(flipped)
+            flipped[slot] ^= 0xFF
+            return bytes(flipped)
+        return value
 
     def put(self, key: str, value: bytes) -> None:
         self.store.put(key, value)

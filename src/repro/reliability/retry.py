@@ -25,7 +25,7 @@ from typing import Callable, List, Optional, Tuple, Type
 
 import numpy as np
 
-from ..storage.kvstore import CorruptStoreError, KVStore
+from ..storage.kvstore import CorruptStoreError, KVStore, propagate_instrument
 
 
 class TransientReadError(IOError):
@@ -145,7 +145,14 @@ class RetryingKVStore(KVStore):
         """Attach read/retry counters + latency histograms to a
         :class:`repro.obs.registry.MetricsRegistry`; joins the shared
         ``kv_reads_total`` / ``kv_read_seconds`` family under
-        ``store="retrying"``. Returns self for chaining."""
+        ``store="retrying"``. Returns self for chaining.
+
+        Instrumentation propagates *inward*: the wrapped store (and any
+        deeper layer reachable through ``.store``) is instrumented too,
+        so composition order never decides whether the backing store's
+        metrics exist — instrumenting the outermost wrapper is always
+        enough. Inner layers without an ``instrument`` method (e.g. the
+        fault injectors) are transparently walked through."""
         self._reads_total = registry.counter(
             "kv_reads_total", "KV feature reads issued.", labels=("store",)
         )
@@ -157,6 +164,7 @@ class RetryingKVStore(KVStore):
         self._retries_total = registry.counter(
             "kv_retries_total", "Retry sleeps taken on KV reads.", labels=("store",)
         )
+        propagate_instrument(self.store, registry)
         return self
 
     def _count(self, attempt: int, error: BaseException, delay: float) -> None:

@@ -14,6 +14,16 @@ scripted incident on a :class:`~repro.reliability.faults.ManualClock`:
 4. *burst*: a queue-capacity-busting burst demonstrates load shedding
    with static-prior verdicts.
 
+With ``--replicas N`` (N > 1) the feature tier becomes a
+:class:`~repro.storage.replicated.ReplicatedKVStore` and the incident
+changes character: the same outage window now *kills replica 1* (and,
+with three or more replicas, a few of replica 2's feature rows are
+silently bit-flipped on disk). The service stays on the GNN rung
+throughout — reads fail over, the corrupt replica is quarantined, an
+anti-entropy pass repairs the divergent rows, and the dead replica is
+probed back to health — so the printed story is zero degradations with
+per-replica breaker journeys showing the failover instead.
+
 Everything runs on simulated time, so the printed ``ServiceStats``
 block — rung mix, breaker transition path, latency percentiles — is
 bit-reproducible for a given seed.
@@ -31,11 +41,12 @@ from ..graph.cache import SubgraphCache
 from ..models import DetectorConfig, XFraudDetectorPlus
 from ..obs.registry import MetricsRegistry
 from ..obs.trace import Tracer
-from ..reliability.faults import ManualClock, OutageKVStore, SlowKVStore
+from ..reliability.faults import FaultPlan, ManualClock, OutageKVStore, SlowKVStore
 from ..reliability.retry import RetryPolicy
 from ..rules.miner import MinerConfig, RuleMiner
-from ..storage.kvstore import InMemoryKVStore
+from ..storage.kvstore import InMemoryKVStore, KVStore
 from ..storage.loader import GraphStore
+from ..storage.replicated import AntiEntropyReport, ReplicatedConfig, ReplicatedKVStore
 from ..train import TrainConfig, Trainer
 from .service import ScoreRequest, ScoreResponse, ScoringService, ServiceConfig
 from .stats import ServiceStats
@@ -49,6 +60,10 @@ class DemoResult:
     shed_responses: List[ScoreResponse]
     stats: ServiceStats
     service: ScoringService
+    # Replicated-tier extras (None on the single-store storyline): the
+    # store outlives service.close() for health reporting.
+    feature_store: Optional[KVStore] = None
+    anti_entropy: Optional[AntiEntropyReport] = None
 
 
 def build_demo_service(
@@ -62,6 +77,8 @@ def build_demo_service(
     trace: bool = False,
     batch_size: Optional[int] = None,
     cache_capacity: int = 256,
+    replicas: int = 1,
+    hedge_quantile: float = 0.95,
 ) -> Tuple[ScoringService, "np.ndarray", ManualClock]:
     """Assemble the chaos-instrumented service; returns (service, test_nodes, clock).
 
@@ -73,7 +90,15 @@ def build_demo_service(
     coalesced batch per ``score_batch``/``drain`` call); the subgraph
     cache (``cache_capacity`` entries) fronts every sampler call and
     reports hit/miss/eviction counters through ``registry``.
+
+    ``replicas > 1`` swaps the single faulted store for a fully
+    replicated tier: the outage window becomes a replica-1 kill, three
+    or more replicas additionally get a handful of replica-2 feature
+    rows bit-flipped on disk, and the service wires per-replica
+    breakers automatically.
     """
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
     bundle = load_dataset("ebay-small-sim", seed=seed, scale=scale)
     graph = bundle.graph
 
@@ -89,14 +114,26 @@ def build_demo_service(
         bundle.log.feature_matrix(), bundle.log.labels()
     )
 
-    backing = InMemoryKVStore()
-    GraphStore(backing).save(graph)
     clock = ManualClock()
-    store = SlowKVStore(
-        OutageKVStore(backing, windows=[outage_window], clock=clock),
-        clock,
-        delay_s=read_delay_s,
-    )
+    if replicas > 1:
+        store = _build_replicated_store(
+            graph,
+            clock,
+            replicas=replicas,
+            seed=seed,
+            outage_window=outage_window,
+            read_delay_s=read_delay_s,
+            hedge_quantile=hedge_quantile,
+            hot_nodes=[int(n) for n in bundle.test_nodes[:64]],
+        )
+    else:
+        backing = InMemoryKVStore()
+        GraphStore(backing).save(graph)
+        store = SlowKVStore(
+            OutageKVStore(backing, windows=[outage_window], clock=clock),
+            clock,
+            delay_s=read_delay_s,
+        )
 
     config = ServiceConfig(
         deadline_s=deadline_s,
@@ -125,6 +162,66 @@ def build_demo_service(
     return service, np.asarray(bundle.test_nodes, dtype=np.int64), clock
 
 
+def _build_replicated_store(
+    graph,
+    clock: ManualClock,
+    replicas: int,
+    seed: int,
+    outage_window: Tuple[float, float],
+    read_delay_s: float,
+    hedge_quantile: float,
+    hot_nodes: Optional[List[int]] = None,
+    poison_rows: int = 3,
+) -> ReplicatedKVStore:
+    """The replicated incident: N slow replicas, replica 1 killed over
+    the outage window, and (with >= 3 replicas) ``poison_rows`` of
+    replica 2's feature rows bit-flipped on disk — persistent
+    divergence for the quarantine + anti-entropy acts. ``hot_nodes``
+    lists nodes the demo will actually score, so the poisoned rows are
+    ones whose primary read lands on the corrupt replica and the
+    quarantine act fires during the run."""
+    backings = [InMemoryKVStore() for _ in range(replicas)]
+    slowed = [SlowKVStore(backing, clock, delay_s=read_delay_s) for backing in backings]
+    plan = FaultPlan(
+        num_workers=replicas,
+        seed=seed,
+        replica_kill={1: [outage_window]},
+    )
+    config = ReplicatedConfig(
+        replication_factor=replicas,
+        hedge_quantile=hedge_quantile,
+        concurrent_hedge=False,  # deterministic on the ManualClock
+        suspect_after=1,
+        dead_after=2,
+        probe_interval_s=0.05,
+    )
+    store = ReplicatedKVStore(
+        plan.wrap_replicas(slowed, clock), config=config, clock=clock, seed=seed
+    )
+    GraphStore(store).save(graph)
+    if replicas > 2 and poison_rows > 0:
+        # Flip one byte in a few of replica 2's copies — preferring
+        # rows whose primary owner is replica 2 so the ledger CRC check
+        # fires during the run (quarantine), not just at anti-entropy.
+        candidates = list(hot_nodes or []) + list(range(graph.num_nodes))
+        seen = set()
+        poisoned = 0
+        for node in candidates:
+            key = f"feat/{node}"
+            if key in seen or not backings[2].contains(key):
+                continue
+            seen.add(key)
+            if store.owners(key)[0] != 2 and hot_nodes:
+                continue
+            raw = bytearray(backings[2].get(key))
+            raw[len(raw) // 2] ^= 0xFF
+            backings[2].put(key, bytes(raw))
+            poisoned += 1
+            if poisoned >= poison_rows:
+                break
+    return store
+
+
 def run_demo(
     seed: int = 0,
     scale: float = 0.25,
@@ -134,6 +231,8 @@ def run_demo(
     registry: Optional[MetricsRegistry] = None,
     trace: bool = False,
     batch_size: Optional[int] = None,
+    replicas: int = 1,
+    hedge_quantile: float = 0.95,
 ) -> DemoResult:
     """Replay the scripted incident; see the module docstring for acts."""
     service, test_nodes, clock = build_demo_service(
@@ -143,7 +242,10 @@ def run_demo(
         registry=registry,
         trace=trace,
         batch_size=batch_size,
+        replicas=replicas,
+        hedge_quantile=hedge_quantile,
     )
+    feature_store = service.feature_store
     nodes = test_nodes[:requests]
 
     responses: List[ScoreResponse] = []
@@ -156,6 +258,14 @@ def run_demo(
         # recovery act (half-open -> closed) happens inside the run.
         clock.advance(0.02)
 
+    # Replicated storyline: an anti-entropy pass heals the divergence
+    # the scripted corruption left behind (and resurrects the
+    # quarantined replica), before the burst act.
+    anti_entropy: Optional[AntiEntropyReport] = None
+    if isinstance(feature_store, ReplicatedKVStore):
+        anti_entropy = feature_store.anti_entropy(repair=True)
+        clock.advance(0.1)
+
     # Act 4: a burst beyond queue capacity -> bounded-queue shedding.
     shed_responses: List[ScoreResponse] = []
     burst_nodes = test_nodes[: max(burst, 1)]
@@ -165,10 +275,14 @@ def run_demo(
             shed_responses.append(shed)
     responses.extend(service.drain())
 
+    if isinstance(feature_store, ReplicatedKVStore):
+        feature_store.export_health()
     service.close()
     return DemoResult(
         responses=responses,
         shed_responses=shed_responses,
         stats=service.stats,
         service=service,
+        feature_store=feature_store if replicas > 1 else None,
+        anti_entropy=anti_entropy,
     )

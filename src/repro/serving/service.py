@@ -43,6 +43,7 @@ from ..reliability.retry import RetryPolicy, TransientReadError, retry_call
 from ..rules.miner import RuleSet
 from ..storage.kvstore import CorruptStoreError, KVStore
 from ..storage.loader import _decode_array
+from ..storage.replicated import AllReplicasFailedError, ReplicatedKVStore
 from .admission import SHED_RATE_LIMITED, AdmissionQueue, TokenBucket
 from .breaker import CircuitBreaker, CircuitOpenError
 from .deadline import Deadline, DeadlineExceeded
@@ -204,7 +205,13 @@ class ScoringService:
     feature_store:
         Optional :class:`~repro.storage.kvstore.KVStore` holding
         ``feat/{node}`` rows (the :class:`~repro.storage.loader.GraphStore`
-        layout). Reads go through retry-inside-breaker.
+        layout). Reads go through retry-inside-breaker. A
+        :class:`~repro.storage.replicated.ReplicatedKVStore` is detected
+        and wired differently: the service builds one
+        :class:`~repro.serving.breaker.CircuitBreaker` *per replica*
+        (same config knobs, names ``feature-replica-<i>``) and injects
+        them into the store, whose failover/hedging machinery replaces
+        the global breaker + retry layer on the fetch path.
     rules:
         Optional :class:`~repro.rules.miner.RuleSet` powering the
         middle degradation rung.
@@ -286,6 +293,37 @@ class ScoringService:
             name="feature-store",
             on_transition=self.stats.record_breaker_transition,
         )
+        # A replicated store demotes the breaker to per-replica scope:
+        # one breaker per replica (same knobs), injected duck-typed so
+        # storage never imports serving. The global breaker stays for
+        # plain stores and for the non-replicated code path.
+        self.replica_breakers: List[CircuitBreaker] = []
+        self._replicated = isinstance(feature_store, ReplicatedKVStore)
+        if self._replicated:
+            for index in range(len(feature_store.replicas)):
+                self.replica_breakers.append(
+                    CircuitBreaker(
+                        failure_threshold=self.config.breaker_failure_threshold,
+                        window=self.config.breaker_window,
+                        min_calls=self.config.breaker_min_calls,
+                        cooldown_s=self.config.breaker_cooldown_s,
+                        half_open_probes=self.config.breaker_half_open_probes,
+                        clock=clock,
+                        name=f"feature-replica-{index}",
+                        on_transition=(
+                            lambda from_state, to_state, index=index: (
+                                self.stats.record_replica_breaker_transition(
+                                    index, from_state, to_state
+                                )
+                            )
+                        ),
+                    )
+                )
+            feature_store.set_replica_breakers(
+                self.replica_breakers, open_error=CircuitOpenError
+            )
+            if registry is not None:
+                feature_store.instrument(registry)
         self.bucket = TokenBucket(self.config.rate, self.config.burst, clock=clock)
         self.queue = AdmissionQueue(self.config.queue_capacity, bucket=self.bucket)
 
@@ -643,6 +681,16 @@ class ScoringService:
         The deadline is checked once per chunk, and a retry whose
         backoff would outlive the budget is abandoned early — the
         degradation ladder is always cheaper than a doomed wait.
+
+        A :class:`~repro.storage.replicated.ReplicatedKVStore` carries
+        its own failover, hedging, and per-replica breakers, so the
+        global breaker and the retry layer step aside — wrapping the
+        store's internal failover loop in another retry would
+        double-penalise a replica blip, and a global breaker would turn
+        one dead replica into a whole-tier outage (the exact failure
+        mode replication exists to remove). Only
+        :class:`~repro.storage.replicated.AllReplicasFailedError` —
+        every owner down or corrupt — demotes the request.
         """
         store = self.feature_store
 
@@ -661,18 +709,25 @@ class ScoringService:
 
             chunk_started = self._clock()
             try:
-                fetched = self.breaker.call(
-                    lambda: retry_call(
-                        read_chunk,
-                        policy=self.config.retry,
-                        retry_on=(TransientReadError, CorruptStoreError),
-                        sleep=self._sleep,
-                        on_retry=on_retry,
+                if self._replicated:
+                    fetched = read_chunk()
+                else:
+                    fetched = self.breaker.call(
+                        lambda: retry_call(
+                            read_chunk,
+                            policy=self.config.retry,
+                            retry_on=(TransientReadError, CorruptStoreError),
+                            sleep=self._sleep,
+                            on_retry=on_retry,
+                        )
                     )
-                )
             except CircuitOpenError:
                 raise
-            except (TransientReadError, CorruptStoreError) as error:
+            except (
+                TransientReadError,
+                CorruptStoreError,
+                AllReplicasFailedError,
+            ) as error:
                 self.stats.kv_failures += 1
                 raise FeatureFetchError(str(error)) from error
             finally:

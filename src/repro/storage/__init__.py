@@ -1,7 +1,21 @@
 """repro.storage — KV-store substrate for graph data loading."""
 
-from .kvstore import CorruptStoreError, InMemoryKVStore, KVStore, MmapKVStore
+from .kvstore import (
+    CorruptStoreError,
+    InMemoryKVStore,
+    KVStore,
+    MmapKVStore,
+    propagate_instrument,
+)
 from .loader import GraphStore, WorkerLoader
+from .replicated import (
+    AllReplicasFailedError,
+    AntiEntropyReport,
+    ReplicaHealth,
+    ReplicatedConfig,
+    ReplicatedKVStore,
+    rendezvous_order,
+)
 
 __all__ = [
     "KVStore",
@@ -10,4 +24,11 @@ __all__ = [
     "MmapKVStore",
     "GraphStore",
     "WorkerLoader",
+    "propagate_instrument",
+    "AllReplicasFailedError",
+    "AntiEntropyReport",
+    "ReplicaHealth",
+    "ReplicatedConfig",
+    "ReplicatedKVStore",
+    "rendezvous_order",
 ]

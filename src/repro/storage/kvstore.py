@@ -58,6 +58,27 @@ class CorruptStoreError(RuntimeError):
     """A store file is truncated, unfinalized, or fails a checksum."""
 
 
+def propagate_instrument(store, registry) -> None:
+    """Instrument ``store`` and every store it wraps.
+
+    Wrapper stores (RetryingKVStore, the fault injectors) expose their
+    wrapped store as ``.store``; this walks that chain calling
+    ``instrument(registry)`` on every layer that supports it, so read
+    metrics survive *any* composition order — instrumenting
+    ``Retrying(Flaky(Mmap))`` reaches the mmap store even though the
+    flaky layer in between has no metrics of its own. Layers without
+    an ``instrument`` method are skipped, not errors.
+    """
+    seen = set()
+    target = store
+    while target is not None and id(target) not in seen:
+        seen.add(id(target))
+        instrument = getattr(target, "instrument", None)
+        if callable(instrument):
+            instrument(registry)
+        target = getattr(target, "store", None)
+
+
 class KVStore:
     """Abstract byte-oriented key-value store."""
 

@@ -47,8 +47,11 @@ class GraphStore:
         )
         for node in range(graph.num_nodes):
             self.store.put(f"feat/{node}", _encode_array(graph.txn_features[node]))
-        if isinstance(self.store, MmapKVStore):
-            self.store.finalize()
+        # Duck-typed: MmapKVStore needs its index footer written, and
+        # ReplicatedKVStore forwards to any finalizable replicas.
+        finalize = getattr(self.store, "finalize", None)
+        if callable(finalize):
+            finalize()
 
     def load(self) -> HeteroGraph:
         """Reassemble the full graph, round-tripping the saved dtype."""

@@ -1,0 +1,883 @@
+"""Replicated feature-store tier: failover, hedged reads, anti-entropy.
+
+The deployed xFraud system (Sec. 3.3.3, Appendix H.5) reads features
+from a remote KV-store on every scoring request. A single store node is
+therefore a single point of failure: one slow machine inflates every
+tail latency and one dead machine is a whole-service outage.
+:class:`ReplicatedKVStore` turns the storage tier into the availability
+layer a production deployment actually runs:
+
+* **Placement** — every key is owned by the top ``replication_factor``
+  replicas of a rendezvous (highest-random-weight) hash ranking, using
+  the same splitmix64 mixing as :mod:`repro.graph.sampling`. Placement
+  is a pure function of ``(key, seed, num_replicas)``: no ring state,
+  no rebalancing metadata, and two stores built the same way agree on
+  every key's preference list.
+* **Health tracking** — each replica carries a
+  :class:`ReplicaHealth` state machine (``healthy → suspect → dead →
+  probing``) driven by consecutive errors, plus an EWMA of observed
+  read latency and a bounded :class:`~repro.obs.registry.Reservoir` of
+  latency samples. Dead replicas are skipped entirely until a probe
+  interval elapses; a probe read then decides resurrection vs. another
+  stint in the penalty box.
+* **Hedged reads** — when a read of the *primary* owner exceeds that
+  replica's own latency quantile (``hedge_quantile`` over its sample
+  reservoir), a backup read is fired at the next-preferred owner and
+  the first answer wins (``concurrent_hedge=True``, real threads). On
+  a simulated :class:`~repro.reliability.faults.ManualClock`, where
+  racing threads would be meaningless, the store instead *tallies*
+  primary reads that overran their hedge threshold
+  (``hedge_overruns``), keeping chaos tests deterministic. Samples
+  from hedged primary reads are excluded from the hedge reservoir so a
+  persistently slow replica cannot drift its own threshold up and
+  disarm hedging.
+* **Corruption quarantine** — ``put`` fans out to every owner and
+  records a CRC32 ledger entry; a ``get`` whose bytes fail the ledger
+  check (or whose replica raises
+  :class:`~repro.storage.kvstore.CorruptStoreError` from
+  :class:`~repro.storage.kvstore.MmapKVStore`'s own per-value
+  checksums) quarantines that replica as dead and fails over — the
+  caller never sees garbage bytes *or* an exception while a good copy
+  exists.
+* **Anti-entropy** — :meth:`ReplicatedKVStore.anti_entropy` compares
+  per-owner CRC32s against the ledger (majority vote when no ledger
+  entry exists), read-repairs divergent/missing/corrupt copies from a
+  verified-good replica, and flips repaired quarantined replicas back
+  to probing. Set ``anti_entropy_interval_s`` to run incremental
+  background passes piggybacked on reads.
+
+Layering: this module sits in ``repro.storage`` and therefore imports
+only :mod:`repro.storage.kvstore` and the dependency-free
+:mod:`repro.obs.registry`. Circuit breakers are *injected* by the
+serving layer via :meth:`ReplicatedKVStore.set_replica_breakers`
+(duck-typed: anything with ``call(fn)``), which is how
+:class:`~repro.serving.service.ScoringService` demotes its breaker to
+per-replica scope without an import cycle.
+"""
+
+from __future__ import annotations
+
+import time
+import threading
+import zlib
+from collections import Counter
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures import wait as _wait_futures
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from ..obs.registry import MetricsRegistry, Reservoir
+from .kvstore import CorruptStoreError, KVStore
+
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+DEAD = "dead"
+PROBING = "probing"
+
+# splitmix64 finalizer constants — the same mixing the samplers use
+# (repro.graph.sampling), in plain-int form for per-key hashing.
+_GAMMA = 0x9E3779B97F4A7C15
+_MIX_1 = 0xBF58476D1CE4E5B9
+_MIX_2 = 0x94D049BB133111EB
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(value: int) -> int:
+    """splitmix64 finalizer over one unsigned 64-bit integer."""
+    z = (value + _GAMMA) & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX_1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX_2) & _MASK64
+    return z ^ (z >> 31)
+
+
+def rendezvous_order(key: str, num_replicas: int, seed: int = 0) -> List[int]:
+    """Replica preference order for ``key`` (highest random weight first).
+
+    A pure function of ``(key, num_replicas, seed)``; removing a
+    replica only reassigns the keys it owned — the property that makes
+    rendezvous hashing the consistent-hashing scheme of choice when
+    the replica count is small.
+    """
+    if num_replicas < 1:
+        raise ValueError("num_replicas must be >= 1")
+    key_hash = zlib.crc32(key.encode("utf-8"))
+    scored = [
+        (_mix64(key_hash ^ _mix64((seed & _MASK64) ^ (index << 32))), index)
+        for index in range(num_replicas)
+    ]
+    scored.sort(key=lambda pair: (-pair[0], pair[1]))
+    return [index for _, index in scored]
+
+
+class AllReplicasFailedError(IOError):
+    """Every candidate replica failed (or is dead) for one operation."""
+
+
+class _ReplicaMiss(KeyError):
+    """Internal: the key is absent on one replica (divergence, not failure)."""
+
+
+@dataclass(frozen=True)
+class ReplicatedConfig:
+    """Operating envelope of one :class:`ReplicatedKVStore`.
+
+    ``concurrent_hedge`` selects real threaded hedging (wall-clock
+    latency wins, for production/benchmarks) vs. the deterministic
+    tally mode used with a :class:`~repro.reliability.faults.ManualClock`.
+    """
+
+    replication_factor: int = 2
+    suspect_after: int = 1  # consecutive errors before healthy -> suspect
+    dead_after: int = 3  # consecutive errors before -> dead
+    probe_interval_s: float = 0.5  # dead -> probing after this long
+    ewma_alpha: float = 0.2
+    hedge_quantile: float = 0.95
+    hedge_min_observations: int = 16  # reservoir floor before hedging arms
+    concurrent_hedge: bool = False
+    verify_crc: bool = True
+    latency_reservoir_size: int = 256
+    anti_entropy_interval_s: Optional[float] = None  # None = manual only
+    anti_entropy_batch: int = 64  # keys per background increment
+
+    def __post_init__(self) -> None:
+        if self.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        if self.suspect_after < 1 or self.dead_after < self.suspect_after:
+            raise ValueError("need 1 <= suspect_after <= dead_after")
+        if self.probe_interval_s <= 0:
+            raise ValueError("probe_interval_s must be positive")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if not 0.0 < self.hedge_quantile <= 1.0:
+            raise ValueError("hedge_quantile must be in (0, 1]")
+        if self.hedge_min_observations < 1:
+            raise ValueError("hedge_min_observations must be >= 1")
+        if self.anti_entropy_interval_s is not None and self.anti_entropy_interval_s <= 0:
+            raise ValueError("anti_entropy_interval_s must be positive (or None)")
+
+
+class ReplicaHealth:
+    """Per-replica EWMA latency + consecutive-error state machine.
+
+    ``healthy`` — serving normally. ``suspect`` — one or more recent
+    consecutive errors; still a read candidate (failover covers it).
+    ``dead`` — skipped entirely until ``probe_interval_s`` elapses.
+    ``probing`` — one trial read decides: success resurrects to
+    healthy, failure goes straight back to dead.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        clock: Callable[[], float],
+        config: ReplicatedConfig,
+        on_transition: Optional[Callable[[int, str, str], None]] = None,
+    ) -> None:
+        self.index = index
+        self.state = HEALTHY
+        self.config = config
+        self.consecutive_errors = 0
+        self.ewma_latency_s: Optional[float] = None
+        self.last_error: Optional[str] = None
+        self.reads_ok = 0
+        self.reads_error = 0
+        self.transitions: List[Tuple[float, str, str, str]] = []  # (at, from, to, reason)
+        self.latencies = Reservoir(config.latency_reservoir_size, seed=index)
+        self.on_transition = on_transition
+        self._clock = clock
+        self._dead_since = 0.0
+
+    def _transition(self, to_state: str, reason: str) -> None:
+        if to_state == self.state:
+            return
+        previous, self.state = self.state, to_state
+        self.transitions.append((self._clock(), previous, to_state, reason))
+        if self.on_transition is not None:
+            self.on_transition(self.index, previous, to_state)
+
+    def state_path(self) -> Tuple[str, ...]:
+        """Visited states in order, leading with the initial state."""
+        if not self.transitions:
+            return (self.state,)
+        return (self.transitions[0][1],) + tuple(t[2] for t in self.transitions)
+
+    def record_success(self, latency_s: float, record_sample: bool = True) -> None:
+        """A read served correct bytes in ``latency_s`` seconds.
+
+        ``record_sample=False`` keeps the observation out of the hedge
+        reservoir (used for hedged primary reads, whose samples are
+        censored by the hedge decision itself) while still updating the
+        EWMA the operators watch.
+        """
+        self.consecutive_errors = 0
+        alpha = self.config.ewma_alpha
+        if self.ewma_latency_s is None:
+            self.ewma_latency_s = float(latency_s)
+        else:
+            self.ewma_latency_s += alpha * (float(latency_s) - self.ewma_latency_s)
+        if record_sample:
+            self.latencies.add(float(latency_s))
+        self.reads_ok += 1
+        if self.state in (SUSPECT, PROBING):
+            self._transition(HEALTHY, "read succeeded")
+
+    def record_failure(self, error: str) -> None:
+        """A read (or write) errored; may demote suspect -> dead."""
+        self.consecutive_errors += 1
+        self.last_error = error
+        self.reads_error += 1
+        if self.state == PROBING:
+            self._dead_since = self._clock()
+            self._transition(DEAD, "probe failed")
+        elif self.consecutive_errors >= self.config.dead_after:
+            self._dead_since = self._clock()
+            self._transition(DEAD, f"{self.consecutive_errors} consecutive errors")
+        elif self.consecutive_errors >= self.config.suspect_after:
+            self._transition(SUSPECT, f"{self.consecutive_errors} consecutive errors")
+
+    def quarantine(self, error: str) -> None:
+        """Corrupt bytes: straight to dead, no grace period."""
+        self.consecutive_errors += 1
+        self.last_error = error
+        self.reads_error += 1
+        self._dead_since = self._clock()
+        self._transition(DEAD, "corrupt read quarantined")
+
+    def mark_probing(self, reason: str) -> None:
+        """External resurrection nudge (e.g. after an anti-entropy repair)."""
+        if self.state == DEAD:
+            self._transition(PROBING, reason)
+
+    def available(self, now: float) -> bool:
+        """May this replica serve a read right now? Moves dead -> probing
+        once the probe interval has elapsed."""
+        if self.state == DEAD:
+            if now - self._dead_since >= self.config.probe_interval_s:
+                self._transition(PROBING, "probe interval elapsed")
+                return True
+            return False
+        return True
+
+    def hedge_threshold(self) -> Optional[float]:
+        """This replica's hedge trigger: its own latency quantile, or
+        ``None`` until ``hedge_min_observations`` samples accrue."""
+        values = self.latencies.values()
+        if len(values) < self.config.hedge_min_observations:
+            return None
+        ordered = sorted(values)
+        # Nearest-rank quantile (matches obs.registry.Histogram.percentile).
+        rank = max(0, min(len(ordered) - 1, int(self.config.hedge_quantile * len(ordered))))
+        return float(ordered[rank])
+
+
+@dataclass
+class AntiEntropyReport:
+    """Outcome of one :meth:`ReplicatedKVStore.anti_entropy` pass."""
+
+    keys_checked: int = 0
+    divergent: List[Tuple[str, int, str]] = field(default_factory=list)  # (key, replica, kind)
+    repaired: int = 0
+    unrepairable: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"anti-entropy: {self.keys_checked} keys checked, "
+            f"{len(self.divergent)} divergent copies, "
+            f"{self.repaired} repaired, {self.unrepairable} unrepairable"
+        )
+
+
+# Sentinels for anti-entropy observations that are not checksums.
+_MISSING = "missing"
+_CORRUPT = "corrupt"
+_UNREACHABLE = "unreachable"
+
+
+class ReplicatedKVStore(KVStore):
+    """Fan a keyspace over N replicas with failover, hedging, and repair.
+
+    Writes fan out to every owner of the key (the top
+    ``replication_factor`` replicas by rendezvous rank) and record a
+    CRC32 ledger entry; a write that lands on at least one owner
+    succeeds, and anti-entropy later heals the stragglers. Reads walk
+    the preference list: dead replicas are skipped, errors fail over to
+    the next owner, corrupt bytes quarantine the replica, and an
+    exhausted list raises :class:`AllReplicasFailedError` (or
+    ``KeyError`` when every live owner simply lacks the key).
+
+    ``clock`` is any monotonic callable;
+    inject a :class:`~repro.reliability.faults.ManualClock` for
+    deterministic chaos tests (pair with ``concurrent_hedge=False``).
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[KVStore],
+        config: Optional[ReplicatedConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+        seed: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        replicas = list(replicas)
+        if not replicas:
+            raise ValueError("need at least one replica")
+        self.replicas: List[KVStore] = replicas
+        self.config = config or ReplicatedConfig()
+        self.seed = int(seed)
+        self.replication_factor = min(self.config.replication_factor, len(replicas))
+        self._clock = clock
+        self.health = [ReplicaHealth(i, clock, self.config) for i in range(len(replicas))]
+        self._crc: Dict[str, int] = {}  # ledger: key -> crc32 recorded at put
+        self._owners_cache: Dict[str, Tuple[int, ...]] = {}
+        self._breakers: Optional[Sequence] = None
+        self._open_errors: Tuple[Type[BaseException], ...] = ()
+        self._lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        # counters (mirrored into the registry when instrumented)
+        self.hedged_reads = 0  # backup reads actually fired (concurrent mode)
+        self.hedge_overruns = 0  # primary reads that exceeded their threshold
+        self.failovers = 0  # reads served by a non-primary owner
+        self.corrupt_reads = 0  # checksum failures absorbed by quarantine
+        self.breaker_skips = 0  # candidates skipped because their breaker was open
+        self._last_anti_entropy = clock()
+        self._anti_entropy_cursor = 0
+        self._in_anti_entropy = False
+        self.registry: Optional[MetricsRegistry] = None
+        self._reads_total = None
+        self._read_seconds = None
+        self._replica_reads = None
+        self._hedged_total = None
+        self._overruns_total = None
+        self._failovers_total = None
+        self._corrupt_total = None
+        self._repairs_total = None
+        self._state_gauge = None
+        self._ewma_gauge = None
+        self._errors_gauge = None
+        self._exported_info: List[Dict[str, str]] = []
+        if registry is not None:
+            self.instrument(registry)
+
+    # -- wiring ---------------------------------------------------------
+    def set_replica_breakers(
+        self,
+        breakers: Sequence,
+        open_error: Optional[Type[BaseException]] = None,
+    ) -> None:
+        """Attach one circuit breaker per replica (duck-typed: anything
+        with ``call(fn)``). ``open_error`` is the exception type the
+        breaker raises when open; reads treat it as "skip this replica"
+        rather than a replica failure. The serving layer injects real
+        :class:`~repro.serving.breaker.CircuitBreaker` instances here —
+        storage cannot import serving."""
+        if len(breakers) != len(self.replicas):
+            raise ValueError(
+                f"got {len(breakers)} breakers for {len(self.replicas)} replicas"
+            )
+        self._breakers = list(breakers)
+        self._open_errors = (open_error,) if open_error is not None else ()
+
+    def instrument(self, registry: MetricsRegistry) -> "ReplicatedKVStore":
+        """Attach health/hedging/repair metrics and propagate
+        ``instrument`` down into every replica (joining the shared
+        ``kv_reads_total`` / ``kv_read_seconds`` family under
+        ``store="replicated"``). Returns self for chaining."""
+        from .kvstore import propagate_instrument
+
+        self.registry = registry
+        self._reads_total = registry.counter(
+            "kv_reads_total", "KV feature reads issued.", labels=("store",)
+        )
+        self._read_seconds = registry.histogram(
+            "kv_read_seconds",
+            "Latency of KV feature reads (per chunk, retries included).",
+            labels=("store",),
+        )
+        self._replica_reads = registry.counter(
+            "kv_replica_reads_total",
+            "Replica read outcomes (ok/error/corrupt/skip).",
+            labels=("replica", "outcome"),
+        )
+        self._hedged_total = registry.counter(
+            "kv_hedged_reads_total", "Backup reads fired by the hedging policy."
+        )
+        self._overruns_total = registry.counter(
+            "kv_hedge_overruns_total",
+            "Primary reads that exceeded their hedge latency threshold.",
+        )
+        self._failovers_total = registry.counter(
+            "kv_failovers_total", "Reads served by a non-primary replica."
+        )
+        self._corrupt_total = registry.counter(
+            "kv_corrupt_reads_total",
+            "Checksum-failed reads absorbed by quarantine.",
+            labels=("replica",),
+        )
+        self._repairs_total = registry.counter(
+            "kv_anti_entropy_repairs_total", "Divergent copies rewritten by anti-entropy."
+        )
+        self._state_gauge = registry.gauge(
+            "kv_replica_state",
+            "One-hot replica health state.",
+            labels=("replica", "state"),
+        )
+        self._ewma_gauge = registry.gauge(
+            "kv_replica_ewma_latency_seconds",
+            "EWMA of observed read latency per replica.",
+            labels=("replica",),
+        )
+        self._errors_gauge = registry.gauge(
+            "kv_replica_consecutive_errors",
+            "Consecutive errors per replica (resets on success).",
+            labels=("replica",),
+        )
+        for health in self.health:
+            health.on_transition = self._on_health_transition
+            self._set_state_gauge(health.index, health.state)
+        for replica in self.replicas:
+            propagate_instrument(replica, registry)
+        return self
+
+    def _on_health_transition(self, index: int, from_state: str, to_state: str) -> None:
+        if self._state_gauge is not None:
+            self._state_gauge.set(0, replica=str(index), state=from_state)
+            self._state_gauge.set(1, replica=str(index), state=to_state)
+
+    def _set_state_gauge(self, index: int, state: str) -> None:
+        if self._state_gauge is None:
+            return
+        for name in (HEALTHY, SUSPECT, DEAD, PROBING):
+            self._state_gauge.set(1 if name == state else 0, replica=str(index), state=name)
+
+    def export_health(self) -> None:
+        """Refresh point-in-time health gauges (EWMA, consecutive
+        errors, one-hot state, and a ``kv_replica_info`` info-gauge
+        carrying the last error as a label). Called before rendering
+        the registry so the exposition reflects the current snapshot."""
+        if self.registry is None:
+            return
+        info = self.registry.gauge(
+            "kv_replica_info",
+            "Per-replica health snapshot (state and last error as labels).",
+            labels=("replica", "state", "last_error"),
+        )
+        for stale in self._exported_info:
+            info.set(0, **stale)
+        self._exported_info = []
+        for health in self.health:
+            self._set_state_gauge(health.index, health.state)
+            self._ewma_gauge.set(health.ewma_latency_s or 0.0, replica=str(health.index))
+            self._errors_gauge.set(health.consecutive_errors, replica=str(health.index))
+            labels = {
+                "replica": str(health.index),
+                "state": health.state,
+                "last_error": (health.last_error or "")[:120],
+            }
+            info.set(1, **labels)
+            self._exported_info.append(labels)
+
+    # -- placement ------------------------------------------------------
+    def owners(self, key: str) -> Tuple[int, ...]:
+        """The ``replication_factor`` replicas that own ``key``, most
+        preferred first."""
+        cached = self._owners_cache.get(key)
+        if cached is None:
+            order = rendezvous_order(key, len(self.replicas), seed=self.seed)
+            cached = tuple(order[: self.replication_factor])
+            self._owners_cache[key] = cached
+        return cached
+
+    # -- write path -----------------------------------------------------
+    def put(self, key: str, value: bytes) -> None:
+        if not isinstance(key, str):
+            raise TypeError(f"keys must be str, got {type(key).__name__}")
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError("values must be bytes")
+        value = bytes(value)
+        owners = self.owners(key)
+        succeeded = 0
+        last_error: Optional[BaseException] = None
+        for index in owners:
+            try:
+                self.replicas[index].put(key, value)
+            except Exception as error:
+                last_error = error
+                with self._lock:
+                    self.health[index].record_failure(repr(error))
+            else:
+                succeeded += 1
+        if succeeded == 0:
+            raise AllReplicasFailedError(
+                f"write of {key!r} failed on all {len(owners)} owners"
+            ) from last_error
+        self._crc[key] = zlib.crc32(value)
+
+    # -- read path ------------------------------------------------------
+    def get(self, key: str) -> bytes:
+        started = self._clock()
+        try:
+            value = self._get(key)
+        finally:
+            if self._read_seconds is not None:
+                self._read_seconds.observe(self._clock() - started, store="replicated")
+                self._reads_total.inc(store="replicated")
+        return value
+
+    def _get(self, key: str) -> bytes:
+        self._maybe_background_anti_entropy()
+        owners = self.owners(key)
+        now = self._clock()
+        with self._lock:
+            candidates = [i for i in owners if self.health[i].available(now)]
+        if not candidates:
+            raise AllReplicasFailedError(
+                f"no live replica holds {key!r} (owners {list(owners)} all dead)"
+            )
+        threshold = None
+        if len(candidates) > 1:
+            with self._lock:
+                threshold = self.health[candidates[0]].hedge_threshold()
+        if threshold is not None and self.config.concurrent_hedge:
+            return self._hedged_get(key, candidates, threshold)
+        return self._sequential_get(key, candidates, threshold)
+
+    def _sequential_get(
+        self,
+        key: str,
+        candidates: Sequence[int],
+        threshold: Optional[float] = None,
+        position_offset: int = 0,
+    ) -> bytes:
+        last_error: Optional[BaseException] = None
+        misses = 0
+        for slot, index in enumerate(candidates):
+            position = slot + position_offset
+            started = self._clock()
+            try:
+                value = self._read_replica(index, key)
+            except _ReplicaMiss:
+                misses += 1
+                continue
+            except self._open_errors:
+                with self._lock:
+                    self.breaker_skips += 1
+                    self._count_replica_read(index, "skip")
+                continue
+            except Exception as error:
+                last_error = error
+                continue
+            if position == 0 and threshold is not None:
+                if self._clock() - started > threshold:
+                    with self._lock:
+                        self.hedge_overruns += 1
+                        if self._overruns_total is not None:
+                            self._overruns_total.inc()
+            if position > 0:
+                with self._lock:
+                    self.failovers += 1
+                    if self._failovers_total is not None:
+                        self._failovers_total.inc()
+            return value
+        if last_error is None and misses == len(candidates):
+            raise KeyError(key)
+        raise AllReplicasFailedError(
+            f"all {len(candidates)} candidate replicas failed reading {key!r}"
+        ) from last_error
+
+    def _hedged_get(self, key: str, candidates: Sequence[int], threshold: float) -> bytes:
+        """Race the primary against a backup fired after ``threshold``."""
+        executor = self._ensure_executor()
+        primary_index = candidates[0]
+        started = self._clock()
+        primary = executor.submit(self._read_replica, primary_index, key, False)
+        try:
+            value = primary.result(timeout=threshold)
+        except _FutureTimeout:
+            pass
+        except Exception:
+            # Primary failed outright (error, miss, or open breaker):
+            # plain failover over the remaining owners.
+            return self._sequential_get(key, candidates[1:], None, position_offset=1)
+        else:
+            # Un-hedged fast path: the sample is uncensored, so it may
+            # feed the hedge reservoir (record_sample=False above only
+            # skipped the in-thread recording).
+            with self._lock:
+                self.health[primary_index].latencies.add(self._clock() - started)
+            return value
+        with self._lock:
+            self.hedged_reads += 1
+            self.hedge_overruns += 1
+            if self._hedged_total is not None:
+                self._hedged_total.inc()
+            if self._overruns_total is not None:
+                self._overruns_total.inc()
+        backup = executor.submit(self._read_replica, candidates[1], key, True)
+        pending = {primary, backup}
+        last_error: Optional[BaseException] = None
+        while pending:
+            done, pending = _wait_futures(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                try:
+                    return future.result()
+                except Exception as error:  # noqa: PERF203 - tiny set
+                    last_error = error
+        remainder = candidates[2:]
+        if remainder:
+            return self._sequential_get(key, remainder, None, position_offset=2)
+        raise AllReplicasFailedError(
+            f"hedged read of {key!r} failed on primary and backup"
+        ) from last_error
+
+    def _read_replica(self, index: int, key: str, record_sample: bool = True) -> bytes:
+        """One verified read of one replica, with health + breaker accounting.
+
+        Raises :class:`_ReplicaMiss` (without penalising health) when
+        the replica simply lacks the key; other failures count against
+        both the replica's health and its breaker.
+        """
+        replica = self.replicas[index]
+        try:
+            present = replica.contains(key)
+        except Exception:
+            present = True  # let the real read produce the real error
+        if not present:
+            raise _ReplicaMiss(key)
+        breaker = self._breakers[index] if self._breakers is not None else None
+        health = self.health[index]
+        started = self._clock()
+
+        def verified_read() -> bytes:
+            value = replica.get(key)
+            expected = self._crc.get(key)
+            if (
+                self.config.verify_crc
+                and expected is not None
+                and zlib.crc32(value) != expected
+            ):
+                raise CorruptStoreError(
+                    f"replica {index}: ledger checksum mismatch for {key!r}"
+                )
+            return value
+
+        try:
+            value = breaker.call(verified_read) if breaker is not None else verified_read()
+        except self._open_errors:
+            raise
+        except CorruptStoreError as error:
+            with self._lock:
+                self.corrupt_reads += 1
+                health.quarantine(str(error))
+                self._count_replica_read(index, "corrupt")
+                if self._corrupt_total is not None:
+                    self._corrupt_total.inc(replica=str(index))
+            raise
+        except Exception as error:
+            with self._lock:
+                health.record_failure(repr(error))
+                self._count_replica_read(index, "error")
+            raise
+        elapsed = self._clock() - started
+        with self._lock:
+            health.record_success(elapsed, record_sample=record_sample)
+            self._count_replica_read(index, "ok")
+        return value
+
+    def _count_replica_read(self, index: int, outcome: str) -> None:
+        if self._replica_reads is not None:
+            self._replica_reads.inc(replica=str(index), outcome=outcome)
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=max(2, len(self.replicas)),
+                    thread_name_prefix="kv-hedge",
+                )
+            return self._executor
+
+    # -- anti-entropy ---------------------------------------------------
+    def anti_entropy(
+        self, repair: bool = True, keys: Optional[Sequence[str]] = None
+    ) -> AntiEntropyReport:
+        """Compare per-owner checksums and read-repair divergence.
+
+        The ledger CRC (recorded at ``put``) is the source of truth;
+        for keys written out-of-band the majority checksum arbitrates
+        (a tie is unrepairable — there is no quorum to trust).
+        Unreachable replicas are skipped, not repaired: failover
+        already covers them, and rewriting through a faulty transport
+        could spread damage. Replicas that were quarantined and then
+        repaired are nudged back to probing.
+        """
+        report = AntiEntropyReport()
+        resurrected: set = set()
+        for key in keys if keys is not None else self.keys():
+            report.keys_checked += 1
+            owners = self.owners(key)
+            observed: Dict[int, object] = {}
+            for index in owners:
+                replica = self.replicas[index]
+                try:
+                    if not replica.contains(key):
+                        observed[index] = _MISSING
+                        continue
+                    observed[index] = zlib.crc32(replica.get(key))
+                except KeyError:
+                    observed[index] = _MISSING
+                except CorruptStoreError:
+                    observed[index] = _CORRUPT
+                except Exception:
+                    observed[index] = _UNREACHABLE
+            expected = self._crc.get(key)
+            tied = False
+            if expected is None:
+                votes = Counter(c for c in observed.values() if isinstance(c, int))
+                ranked = votes.most_common(2)
+                if ranked and (len(ranked) == 1 or ranked[0][1] > ranked[1][1]):
+                    expected = ranked[0][0]
+                elif len(ranked) > 1:
+                    tied = True  # divergent copies, no quorum to trust
+            bad: List[Tuple[int, str]] = []
+            for index, checksum in observed.items():
+                if checksum is _UNREACHABLE:
+                    continue
+                if checksum is _MISSING:
+                    bad.append((index, "missing"))
+                elif checksum is _CORRUPT:
+                    bad.append((index, "corrupt"))
+                elif expected is not None and checksum != expected:
+                    bad.append((index, "divergent"))
+                elif tied:
+                    bad.append((index, "divergent"))
+            if not bad:
+                continue
+            report.divergent.extend((key, index, kind) for index, kind in bad)
+            if not repair:
+                continue
+            good_value: Optional[bytes] = None
+            if expected is not None:
+                for index, checksum in observed.items():
+                    if checksum != expected:
+                        continue
+                    try:
+                        candidate = self.replicas[index].get(key)
+                    except Exception:
+                        continue
+                    if zlib.crc32(candidate) == expected:
+                        good_value = candidate
+                        break
+            if good_value is None:
+                report.unrepairable += len(bad)
+                continue
+            for index, _kind in bad:
+                try:
+                    self.replicas[index].put(key, good_value)
+                except Exception:
+                    report.unrepairable += 1
+                else:
+                    report.repaired += 1
+                    resurrected.add(index)
+            if expected is not None and key not in self._crc:
+                self._crc[key] = expected
+        with self._lock:
+            for index in sorted(resurrected):
+                self.health[index].mark_probing("anti-entropy repair")
+            if report.repaired and self._repairs_total is not None:
+                self._repairs_total.inc(report.repaired)
+        return report
+
+    def _maybe_background_anti_entropy(self) -> None:
+        """Piggyback an incremental repair pass on reads when configured."""
+        interval = self.config.anti_entropy_interval_s
+        if interval is None or self._in_anti_entropy:
+            return
+        now = self._clock()
+        if now - self._last_anti_entropy < interval:
+            return
+        self._last_anti_entropy = now
+        all_keys = self.keys()
+        if not all_keys:
+            return
+        batch = min(self.config.anti_entropy_batch, len(all_keys))
+        start = self._anti_entropy_cursor % len(all_keys)
+        chunk = [all_keys[(start + i) % len(all_keys)] for i in range(batch)]
+        self._anti_entropy_cursor = (start + batch) % len(all_keys)
+        self._in_anti_entropy = True
+        try:
+            self.anti_entropy(repair=True, keys=chunk)
+        finally:
+            self._in_anti_entropy = False
+
+    # -- KVStore surface ------------------------------------------------
+    def contains(self, key: str) -> bool:
+        if key in self._crc:
+            return True
+        for index in self.owners(key):
+            try:
+                if self.replicas[index].contains(key):
+                    return True
+            except Exception:
+                continue
+        return False
+
+    def keys(self) -> List[str]:
+        if self._crc:
+            return list(self._crc.keys())
+        merged: Dict[str, None] = {}
+        for replica in self.replicas:
+            try:
+                for key in replica.keys():
+                    merged.setdefault(key, None)
+            except Exception:
+                continue
+        return list(merged.keys())
+
+    def finalize(self) -> None:
+        """Finalize any finalizable backing store (walking wrapper
+        chains), so replicated-over-:class:`MmapKVStore` builds work
+        with :class:`~repro.storage.loader.GraphStore.save`."""
+        for replica in self.replicas:
+            target = replica
+            while target is not None:
+                finalize = getattr(target, "finalize", None)
+                if callable(finalize):
+                    finalize()
+                    break
+                target = getattr(target, "store", None)
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        for replica in self.replicas:
+            replica.close()
+
+    # -- reporting ------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable health table (the ``--health`` epilogue)."""
+        lines = [
+            f"replicated store: {len(self.replicas)} replicas, "
+            f"rf={self.replication_factor}, "
+            f"hedge q={self.config.hedge_quantile:g} "
+            f"({'concurrent' if self.config.concurrent_hedge else 'deterministic'})",
+            f"reads: hedged={self.hedged_reads} overruns={self.hedge_overruns} "
+            f"failovers={self.failovers} corrupt={self.corrupt_reads} "
+            f"breaker_skips={self.breaker_skips}",
+        ]
+        for health in self.health:
+            ewma = (
+                f"{health.ewma_latency_s * 1000:.3f}ms"
+                if health.ewma_latency_s is not None
+                else "n/a"
+            )
+            lines.append(
+                f"replica {health.index}: state={health.state:8s} ewma={ewma:>10s} "
+                f"ok={health.reads_ok} errors={health.reads_error} "
+                f"consecutive={health.consecutive_errors} "
+                f"last_error={health.last_error or '-'}"
+            )
+            path = " -> ".join(health.state_path())
+            lines.append(f"  path: {path}")
+        return "\n".join(lines)

@@ -188,6 +188,138 @@ class TestOutageLadder:
                 assert response.latency_s <= budget + bound
 
 
+class TestReplicatedFeatureTier:
+    """PR-7 acceptance: a replica killed mid-batch plus silently
+    corrupted values on another replica are fully absorbed — the
+    service finishes on the GNN rung with scores identical to a
+    fault-free run, and the health machine walks dead -> probing ->
+    healthy on the manual clock."""
+
+    def _replicated_service(
+        self, trained_detector, tiny_graph, rules, clock, fault_plan=None
+    ):
+        from repro.reliability.faults import FaultPlan
+        from repro.storage import ReplicatedConfig, ReplicatedKVStore
+
+        replicas = 3
+        backings = [InMemoryKVStore() for _ in range(replicas)]
+        slowed = [SlowKVStore(b, clock, delay_s=READ_DELAY_S) for b in backings]
+        plan = fault_plan or FaultPlan(num_workers=replicas, seed=0)
+        store = ReplicatedKVStore(
+            plan.wrap_replicas(slowed, clock),
+            config=ReplicatedConfig(
+                replication_factor=replicas,
+                suspect_after=1,
+                dead_after=2,
+                probe_interval_s=0.05,
+                concurrent_hedge=False,
+            ),
+            clock=clock,
+            seed=0,
+        )
+        GraphStore(store).save(tiny_graph)
+        config = ServiceConfig(
+            deadline_s=5.0,
+            fetch_chunk=FETCH_CHUNK,
+            batch_size=8,
+            breaker_min_calls=2,
+            breaker_window=4,
+            breaker_cooldown_s=0.05,
+            breaker_half_open_probes=1,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.001, seed=0),
+            static_prior=0.05,
+        )
+        service = ScoringService(
+            trained_detector,
+            tiny_graph,
+            feature_store=store,
+            rules=rules,
+            config=config,
+            clock=clock,
+            own_store=True,
+        )
+        return service, store
+
+    def test_replica_kill_and_corruption_absorbed_mid_batch(
+        self, trained_detector, tiny_graph, chaos_rules
+    ):
+        from repro.reliability.faults import FaultPlan
+
+        requests = _requests(tiny_graph, 24)
+
+        # Fault-free baseline for the score-equality check.
+        baseline_clock = ManualClock()
+        baseline, _ = self._replicated_service(
+            trained_detector, tiny_graph, chaos_rules, baseline_clock
+        )
+        with baseline:
+            baseline_scores = [
+                r.score for r in self._scripted_batch(baseline, baseline_clock, requests)
+            ]
+
+        clock = ManualClock()
+        plan = FaultPlan(
+            num_workers=3,
+            seed=0,
+            replica_kill={1: [(0.15, 0.45)]},  # dies mid-run, revives
+            replica_corrupt={2: [(0.0, 1e9)]},  # silently lies forever
+        )
+        service, store = self._replicated_service(
+            trained_detector, tiny_graph, chaos_rules, clock, fault_plan=plan
+        )
+        with service:
+            responses = self._scripted_batch(service, clock, requests)
+
+            # Every request admitted, completed on the GNN rung, with no
+            # degradations attributable to storage — the faults were
+            # absorbed below the service.
+            assert len(responses) == len(requests)
+            assert all(r.admitted for r in responses)
+            assert all(r.rung == RUNG_GNN for r in responses)
+            assert all(r.degraded_reason is None for r in responses)
+            assert service.stats.kv_failures == 0
+
+            # Zero corrupt values served: scores equal the fault-free run.
+            assert [r.score for r in responses] == baseline_scores
+
+            # The corruption was *seen* (and quarantined), not missed.
+            assert store.corrupt_reads > 0
+            assert store.failovers > 0
+
+            # Recovery coda: the kill window is over; further traffic
+            # probes the dead replica back to health.
+            clock.advance(0.5)
+            recovery = service.score_batch(requests[:8])
+            assert all(r.rung == RUNG_GNN for r in recovery)
+
+            # Replica 1's health machine walked the full journey.
+            path = store.health[1].state_path()
+            assert path[0] == "healthy"
+            assert "dead" in path and "probing" in path
+            assert path[-1] == "healthy"
+            # Replica 2 (the liar) got quarantined straight to dead.
+            assert "dead" in store.health[2].state_path()
+
+            # Per-replica breakers opened; the revived replica's closed
+            # again, while the forever-lying replica 2 may rightly stay
+            # open. The global breaker never tripped (it is demoted to
+            # replica scope).
+            replica_paths = service.stats.replica_breaker_paths()
+            assert any(OPEN in p for p in replica_paths.values())
+            assert replica_paths[1][-1] == CLOSED
+            assert service.stats.breaker_state_path() == ()
+
+    @staticmethod
+    def _scripted_batch(service, clock, requests):
+        """Score in micro-batches with inter-arrival gaps so the kill
+        window opens and closes (and probes fire) inside the run."""
+        responses = []
+        for start in range(0, len(requests), 8):
+            responses.extend(service.score_batch(requests[start : start + 8]))
+            clock.advance(0.05)
+        return responses
+
+
 class TestDeadlineMidSampling:
     def test_degraded_verdict_never_exception(
         self, trained_detector, tiny_graph, chaos_rules

@@ -254,3 +254,48 @@ class TestServeCommand:
         assert "closed -> open" in out
         assert "rungs:" in out
         assert "shed with verdict" in out
+
+    def test_serve_demo_replicated_absorbs_failover(self, capsys):
+        code = main(
+            ["serve", "--demo", "--replicas", "3", "--scale", "0.1",
+             "--epochs", "1", "--requests", "30", "--burst", "14", "--health"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3-replica feature tier" in out
+        assert "kv_failures=0" in out
+        assert "breaker[r1]" in out  # the killed replica's own journey
+        assert "anti-entropy:" in out
+        assert "replicated store: 3 replicas" in out  # --health table
+        assert "replica failover absorbed" in out
+
+    def test_serve_rejects_bad_replicas(self, capsys):
+        assert main(["serve", "--demo", "--replicas", "0"]) == 2
+        assert "--replicas" in capsys.readouterr().err
+
+
+class TestHealthcheckCommand:
+    def test_healthcheck_recovers_from_kill(self, capsys):
+        code = main(
+            ["healthcheck", "--replicas", "3", "--keys", "40",
+             "--kill-replica", "1", "--metrics"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replicated store: 3 replicas" in out
+        assert "kv_replica_state" in out  # Prometheus exposition
+        assert "kv_replica_info" in out
+        assert "anti-entropy:" in out
+        assert "all replicas serving" in out
+        # The killed replica's journey is visible in the health table.
+        assert "probing" in out
+
+    def test_healthcheck_clean_run(self, capsys):
+        code = main(["healthcheck", "--replicas", "2", "--keys", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all replicas serving" in out
+
+    def test_healthcheck_rejects_bad_args(self, capsys):
+        assert main(["healthcheck", "--replicas", "2", "--kill-replica", "5"]) == 2
+        assert "out of range" in capsys.readouterr().err

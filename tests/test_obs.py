@@ -338,6 +338,7 @@ class TestServiceStats:
             "kv_failures",
             "kv_retries",
             "breaker_transitions",
+            "replica_breaker_transitions",
             "latency_s",
             "auc",
         }

@@ -322,6 +322,58 @@ class TestRetryingKVStore:
         assert store.retries == 0
 
 
+class TestInstrumentPropagation:
+    """Satellite: ``instrument()`` must reach the backing store through
+    wrapper chains, regardless of composition order — instrumenting the
+    outermost wrapper is always enough."""
+
+    def _registry(self):
+        from repro.obs import MetricsRegistry
+
+        return MetricsRegistry()
+
+    def test_retrying_instruments_inner_mmap(self, tmp_path):
+        registry = self._registry()
+        inner = MmapKVStore(str(tmp_path / "kv.bin"))
+        inner.put("k", b"value")
+        inner.finalize()
+        store = RetryingKVStore(inner, sleep=lambda _: None).instrument(registry)
+        store.get("k")
+        text = registry.render()
+        # Both layers counted the read, each under its own store label.
+        assert 'kv_reads_total{store="retrying"} 1' in text
+        assert 'kv_reads_total{store="mmap"} 1' in text
+        inner.close()
+
+    def test_propagation_walks_through_uninstrumentable_layers(self, tmp_path):
+        """A fault injector between the retry layer and the mmap store
+        has no instrument() of its own; propagation steps over it."""
+        registry = self._registry()
+        inner = MmapKVStore(str(tmp_path / "kv.bin"))
+        inner.put("k", b"value")
+        inner.finalize()
+        flaky = FlakyKVStore(inner, fail_first=1)
+        store = RetryingKVStore(
+            flaky, RetryPolicy(max_attempts=3), sleep=lambda _: None
+        ).instrument(registry)
+        store.get("k")
+        text = registry.render()
+        assert 'kv_reads_total{store="retrying"} 1' in text
+        # The retried read hit the mmap layer twice (fail, then succeed
+        # — FlakyKVStore raises before reaching it on the first try).
+        assert 'kv_reads_total{store="mmap"} 1' in text
+        inner.close()
+
+    def test_propagate_helper_is_cycle_safe(self):
+        from repro.storage import propagate_instrument
+
+        class Loop:
+            def __init__(self):
+                self.store = self
+
+        propagate_instrument(Loop(), self._registry())  # must terminate
+
+
 class TestFaultPlan:
     def test_deterministic_per_epoch(self):
         plan = FaultPlan(num_workers=8, crash_prob=0.4, straggler_prob=0.3, seed=5)

@@ -1,0 +1,608 @@
+"""Replicated feature-store tier: placement, failover, health, hedging,
+corruption quarantine, anti-entropy repair, and wiring.
+
+Everything deterministic runs on a :class:`ManualClock`; the one truly
+threaded scenario (concurrent hedging) uses real sleeps short enough
+for CI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.reliability.faults import (
+    CorruptKVStore,
+    FaultPlan,
+    ManualClock,
+    OutageKVStore,
+    SleepKVStore,
+    SlowKVStore,
+)
+from repro.serving.breaker import CircuitBreaker, CircuitOpenError
+from repro.storage import (
+    AllReplicasFailedError,
+    GraphStore,
+    InMemoryKVStore,
+    MmapKVStore,
+    ReplicatedConfig,
+    ReplicatedKVStore,
+    rendezvous_order,
+)
+
+
+def _make_store(
+    num_replicas=3,
+    clock=None,
+    config=None,
+    seed=0,
+    wrap=None,
+):
+    """N in-memory replicas, optionally wrapped per index by ``wrap``."""
+    clock = clock or ManualClock()
+    backings = [InMemoryKVStore() for _ in range(num_replicas)]
+    replicas = list(backings)
+    if wrap is not None:
+        replicas = [wrap(index, replica) for index, replica in enumerate(replicas)]
+    config = config or ReplicatedConfig(
+        replication_factor=num_replicas, probe_interval_s=0.5
+    )
+    store = ReplicatedKVStore(replicas, config=config, clock=clock, seed=seed)
+    return store, backings, clock
+
+
+class TestRendezvousPlacement:
+    def test_pure_function_of_inputs(self):
+        assert rendezvous_order("feat/1", 5, seed=3) == rendezvous_order(
+            "feat/1", 5, seed=3
+        )
+        assert rendezvous_order("feat/1", 5, seed=3) != rendezvous_order(
+            "feat/1", 5, seed=4
+        )
+
+    def test_is_a_permutation(self):
+        for key in ("a", "b", "feat/7", ""):
+            order = rendezvous_order(key, 7, seed=1)
+            assert sorted(order) == list(range(7))
+
+    def test_balanced_primaries(self):
+        counts = np.zeros(4, dtype=int)
+        for index in range(2000):
+            counts[rendezvous_order(f"key/{index}", 4)[0]] += 1
+        # Fair-ish coin: every replica owns 15%-40% of the keyspace.
+        assert counts.min() > 2000 * 0.15
+        assert counts.max() < 2000 * 0.40
+
+    def test_removal_only_moves_owned_keys(self):
+        """The consistent-hashing property: dropping the last replica
+        reassigns only the keys it was primary for."""
+        keys = [f"key/{i}" for i in range(500)]
+        before = {k: rendezvous_order(k, 4)[0] for k in keys}
+        after = {k: rendezvous_order(k, 3)[0] for k in keys}
+        for key in keys:
+            if before[key] != 3:
+                assert after[key] == before[key]
+
+    def test_owners_respects_replication_factor(self):
+        store, _, _ = _make_store(
+            5, config=ReplicatedConfig(replication_factor=2)
+        )
+        owners = store.owners("feat/1")
+        assert len(owners) == 2
+        assert owners == tuple(rendezvous_order("feat/1", 5)[:2])
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            rendezvous_order("k", 0)
+        with pytest.raises(ValueError):
+            ReplicatedKVStore([])
+        with pytest.raises(ValueError):
+            ReplicatedConfig(replication_factor=0)
+        with pytest.raises(ValueError):
+            ReplicatedConfig(suspect_after=3, dead_after=2)
+        with pytest.raises(ValueError):
+            ReplicatedConfig(hedge_quantile=0.0)
+
+
+class TestReadWritePath:
+    def test_put_fans_out_to_owners_only(self):
+        store, backings, _ = _make_store(
+            4, config=ReplicatedConfig(replication_factor=2)
+        )
+        for index in range(50):
+            store.put(f"key/{index}", f"value-{index}".encode())
+        for index in range(50):
+            key = f"key/{index}"
+            holding = {i for i, b in enumerate(backings) if b.contains(key)}
+            assert holding == set(store.owners(key))
+            assert store.get(key) == f"value-{index}".encode()
+
+    def test_failover_to_secondary_on_primary_error(self):
+        clock = ManualClock()
+
+        def wrap(index, replica):
+            # Replica 0 fails hard forever; others are fine.
+            if index == 0:
+                return OutageKVStore(replica, windows=[(0.0, 1e9)], clock=clock)
+            return replica
+
+        store, _, _ = _make_store(3, clock=clock, wrap=wrap)
+        # Force a key whose primary is replica 0 for a guaranteed failover.
+        probe = 0
+        while store.owners(f"key/{probe}")[0] != 0:
+            probe += 1
+        key = f"key/{probe}"
+        store.put(key, b"payload")
+        assert store.get(key) == b"payload"
+        assert store.failovers == 1
+        assert store.health[0].state_path()[-1] in ("suspect", "dead")
+
+    def test_missing_key_raises_keyerror_not_failure(self):
+        store, _, _ = _make_store(3)
+        store.put("exists", b"1")
+        with pytest.raises(KeyError):
+            store.get("never-written")
+        # A miss is divergence, not an error: health is untouched.
+        assert all(h.reads_error == 0 for h in store.health)
+
+    def test_all_replicas_failing_raises_typed_error(self):
+        clock = ManualClock()
+        store, _, _ = _make_store(
+            2,
+            clock=clock,
+            wrap=lambda i, r: OutageKVStore(r, windows=[(0.0, 1e9)], clock=clock),
+        )
+        store.put("k", b"v")
+        with pytest.raises(AllReplicasFailedError):
+            store.get("k")
+
+    def test_write_requires_one_owner_success(self):
+        class BrokenStore(InMemoryKVStore):
+            def put(self, key, value):
+                raise IOError("disk full")
+
+        clock = ManualClock()
+        replicas = [BrokenStore(), BrokenStore()]
+        store = ReplicatedKVStore(
+            replicas, config=ReplicatedConfig(replication_factor=2), clock=clock
+        )
+        with pytest.raises(AllReplicasFailedError):
+            store.put("k", b"v")
+
+    def test_contains_and_keys(self):
+        store, _, _ = _make_store(3)
+        store.put("a", b"1")
+        store.put("b", b"2")
+        assert store.contains("a") and store.contains("b")
+        assert not store.contains("c")
+        assert sorted(store.keys()) == ["a", "b"]
+
+
+class TestHealthStateMachine:
+    def _flaky_store(self, fail_windows, probe_interval_s=0.5, dead_after=3):
+        clock = ManualClock()
+        config = ReplicatedConfig(
+            replication_factor=1,
+            suspect_after=1,
+            dead_after=dead_after,
+            probe_interval_s=probe_interval_s,
+        )
+        backing = InMemoryKVStore()
+        replica = OutageKVStore(backing, windows=fail_windows, clock=clock)
+        store = ReplicatedKVStore([replica], config=config, clock=clock)
+        return store, backing, clock
+
+    def test_healthy_suspect_dead_progression(self):
+        store, _, clock = self._flaky_store([(0.0, 10.0)], dead_after=3)
+        store.put("k", b"v")
+        for _ in range(2):
+            clock.advance(0.01)
+            with pytest.raises(AllReplicasFailedError):
+                store.get("k")
+        assert store.health[0].state == "suspect"
+        clock.advance(0.01)
+        with pytest.raises(AllReplicasFailedError):
+            store.get("k")
+        assert store.health[0].state == "dead"
+        assert store.health[0].state_path() == ("healthy", "suspect", "dead")
+
+    def test_dead_replica_skipped_until_probe_interval(self):
+        store, _, clock = self._flaky_store([(0.0, 1.0)], probe_interval_s=0.5)
+        store.put("k", b"v")
+        for _ in range(3):
+            clock.advance(0.01)
+            with pytest.raises(AllReplicasFailedError):
+                store.get("k")
+        assert store.health[0].state == "dead"
+        # Inside the probe interval every candidate is dead -> skip.
+        with pytest.raises(AllReplicasFailedError):
+            store.get("k")
+        # After the interval the replica probes; the outage persists so
+        # the probe fails straight back to dead...
+        clock.advance(0.6)
+        with pytest.raises(AllReplicasFailedError):
+            store.get("k")
+        assert "probing" in store.health[0].state_path()
+        assert store.health[0].state == "dead"
+        # ...until the outage window ends and a probe resurrects it.
+        clock.advance(0.6)
+        assert store.get("k") == b"v"
+        assert store.health[0].state == "healthy"
+        path = store.health[0].state_path()
+        assert path[0] == "healthy" and path[-1] == "healthy"
+        assert "dead" in path and "probing" in path
+
+    def test_success_resets_consecutive_errors(self):
+        store, _, clock = self._flaky_store([(0.1, 0.2), (0.3, 0.4)], dead_after=5)
+        store.put("k", b"v")
+        clock.advance(0.11)
+        with pytest.raises(AllReplicasFailedError):
+            store.get("k")
+        assert store.health[0].consecutive_errors == 1
+        clock.advance(0.15)  # window over
+        assert store.get("k") == b"v"
+        assert store.health[0].consecutive_errors == 0
+        assert store.health[0].state == "healthy"
+
+    def test_ewma_tracks_latency(self):
+        clock = ManualClock()
+        store, _, _ = _make_store(
+            1,
+            clock=clock,
+            config=ReplicatedConfig(replication_factor=1, ewma_alpha=0.5),
+            wrap=lambda i, r: SlowKVStore(r, clock, delay_s=0.004),
+        )
+        store.put("k", b"v")
+        for _ in range(8):
+            store.get("k")
+        assert store.health[0].ewma_latency_s == pytest.approx(0.004, rel=0.01)
+
+
+class TestCorruptionQuarantine:
+    def test_ledger_mismatch_quarantines_and_fails_over(self):
+        store, backings, _ = _make_store(3)
+        # A key whose primary we can poison.
+        probe = 0
+        while store.owners(f"key/{probe}")[0] != 1:
+            probe += 1
+        key = f"key/{probe}"
+        store.put(key, b"good-bytes")
+        backings[1].put(key, b"bad--bytes")  # silent divergence
+        assert store.get(key) == b"good-bytes"  # served from a good copy
+        assert store.corrupt_reads == 1
+        assert store.failovers == 1
+        assert store.health[1].state == "dead"
+        assert store.health[1].state_path() == ("healthy", "dead")
+
+    def test_mmap_checksum_corruption_also_quarantines(self, tmp_path):
+        """MmapKVStore's own per-value CRC raises CorruptStoreError;
+        the replicated tier absorbs it exactly like a ledger miss."""
+        clock = ManualClock()
+        paths = [str(tmp_path / f"replica-{i}.bin") for i in range(2)]
+        builders = [MmapKVStore(p) for p in paths]
+        for builder in builders:
+            builder.put("k", b"precious-payload")
+            builder.finalize()
+            builder.close()
+        # Flip a data byte in one replica's file (before the index).
+        with open(paths[0], "r+b") as handle:
+            handle.seek(3)
+            byte = handle.read(1)
+            handle.seek(3)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        replicas = [MmapKVStore.open(p) for p in paths]
+        store = ReplicatedKVStore(
+            replicas, config=ReplicatedConfig(replication_factor=2), clock=clock
+        )
+        assert store.get("k") == b"precious-payload"
+        bad = 0 if store.owners("k")[0] == 0 else None
+        # Whichever order the owners came in, the poisoned replica is
+        # dead and the read was served.
+        assert store.health[0].state == "dead"
+        assert store.corrupt_reads == 1
+        store.close()
+
+    def test_verify_crc_false_disables_ledger_check(self):
+        store, backings, _ = _make_store(
+            1, config=ReplicatedConfig(replication_factor=1, verify_crc=False)
+        )
+        store.put("k", b"good")
+        backings[0].put("k", b"bads")
+        assert store.get("k") == b"bads"  # explicit opt-out
+        assert store.corrupt_reads == 0
+
+
+class TestHedging:
+    def test_sequential_mode_tallies_overruns(self):
+        clock = ManualClock()
+        slow = []
+
+        def wrap(index, replica):
+            wrapper = SlowKVStore(replica, clock, delay_s=0.001)
+            slow.append(wrapper)
+            return wrapper
+
+        config = ReplicatedConfig(
+            replication_factor=2,
+            concurrent_hedge=False,
+            hedge_min_observations=4,
+            hedge_quantile=0.9,
+        )
+        store, _, _ = _make_store(2, clock=clock, config=config, wrap=wrap)
+        for index in range(30):
+            store.put(f"key/{index}", b"x")
+        for index in range(30):  # warm every replica's reservoir
+            store.get(f"key/{index}")
+        # Warm reads sit exactly at their own quantile; float noise may
+        # tally a marginal overrun or two, so measure from a baseline.
+        baseline = store.hedge_overruns
+        for wrapper in slow:
+            wrapper.delay_s = 0.05  # everything 50x slower than its quantile
+        for index in range(10):
+            store.get(f"key/{index}")
+        # The first slow reads overrun; then the reservoir absorbs the
+        # new samples and the threshold adapts to the new normal, so
+        # the tally grows by a few, not by all ten.
+        assert store.hedge_overruns >= baseline + 2
+        assert store.hedged_reads == 0  # deterministic mode never races
+
+    def test_concurrent_mode_fires_backup_and_wins(self):
+        import time as _time
+
+        FAST = 0.0005
+        config = ReplicatedConfig(
+            replication_factor=3,
+            concurrent_hedge=True,
+            hedge_min_observations=4,
+            hedge_quantile=0.9,
+        )
+        backings = [InMemoryKVStore() for _ in range(3)]
+        sleepers = [SleepKVStore(b, delay_s=FAST) for b in backings]
+        store = ReplicatedKVStore(
+            sleepers, config=config, clock=_time.monotonic, seed=0
+        )
+        for index in range(30):
+            store.put(f"key/{index}", f"value-{index}".encode())
+        for index in range(30):  # warm reservoirs with fast reads
+            store.get(f"key/{index}")
+        primary_of = {i: [] for i in range(3)}
+        for index in range(30):
+            primary_of[store.owners(f"key/{index}")[0]].append(index)
+        slow_replica = max(primary_of, key=lambda i: len(primary_of[i]))
+        sleepers[slow_replica].delay_s = FAST * 40
+        for index in primary_of[slow_replica][:10]:
+            assert store.get(f"key/{index}") == f"value-{index}".encode()
+        assert store.hedged_reads >= 1
+        store.close()  # shuts the hedge executor down
+
+
+class TestBreakerInjection:
+    def test_open_breaker_skips_replica(self):
+        clock = ManualClock()
+        store, _, _ = _make_store(2, clock=clock)
+        breakers = [
+            CircuitBreaker(
+                clock=clock,
+                min_calls=1,
+                window=2,
+                cooldown_s=10.0,
+                name=f"replica-{i}",
+            )
+            for i in range(2)
+        ]
+        store.set_replica_breakers(breakers, open_error=CircuitOpenError)
+        probe = 0
+        while store.owners(f"key/{probe}")[0] != 0:
+            probe += 1
+        key = f"key/{probe}"
+        store.put(key, b"v")
+        # Trip replica 0's breaker manually.
+        breakers[0].record_failure()
+        breakers[0].record_failure()
+        assert breakers[0].state == "open"
+        assert store.get(key) == b"v"  # served by the other replica
+        assert store.breaker_skips == 1
+        assert store.failovers == 1
+        # Breaker-open skips are not replica failures.
+        assert store.health[0].reads_error == 0
+
+    def test_breaker_count_mismatch_rejected(self):
+        store, _, _ = _make_store(3)
+        with pytest.raises(ValueError):
+            store.set_replica_breakers([object()], open_error=CircuitOpenError)
+
+
+class TestAntiEntropy:
+    def test_detects_and_repairs_divergence(self):
+        store, backings, _ = _make_store(3)
+        for index in range(30):
+            store.put(f"key/{index}", f"value-{index}".encode())
+        # Silently corrupt one copy and delete another.
+        backings[0].put("key/3", b"garbage")
+        victim_key = next(
+            f"key/{i}" for i in range(30) if 2 in store.owners(f"key/{i}")
+        )
+        backings[2].delete(victim_key)
+        report = store.anti_entropy(repair=True)
+        assert report.keys_checked == 30
+        kinds = {(replica, kind) for _, replica, kind in report.divergent}
+        assert (0, "divergent") in kinds
+        assert (2, "missing") in kinds
+        assert report.repaired == len(report.divergent)
+        assert report.unrepairable == 0
+        # Fully healed: a second pass is clean.
+        assert not store.anti_entropy(repair=True).divergent
+        assert backings[0].get("key/3") == b"value-3"
+        assert backings[2].get(victim_key) == victim_key.replace("key/", "value-").encode()
+
+    def test_repair_resurrects_quarantined_replica(self):
+        store, backings, clock = _make_store(3)
+        probe = 0
+        while store.owners(f"key/{probe}")[0] != 1:
+            probe += 1
+        key = f"key/{probe}"
+        store.put(key, b"truth")
+        backings[1].put(key, b"lies!")
+        assert store.get(key) == b"truth"  # quarantine fires
+        assert store.health[1].state == "dead"
+        report = store.anti_entropy(repair=True)
+        assert report.repaired >= 1
+        assert store.health[1].state == "probing"
+        assert store.get(key) == b"truth"  # probe read succeeds
+        assert store.health[1].state == "healthy"
+
+    def test_majority_vote_without_ledger(self):
+        """Keys written out-of-band have no ledger CRC; the majority
+        checksum arbitrates."""
+        store, backings, _ = _make_store(3)
+        probe = 0
+        while len(set(store.owners(f"key/{probe}"))) != 3:
+            probe += 1
+        key = f"key/{probe}"
+        for backing in backings:
+            backing.put(key, b"agreed")
+        backings[0].put(key, b"outvoted")
+        report = store.anti_entropy(repair=True)
+        assert report.repaired == 1
+        assert backings[0].get(key) == b"agreed"
+
+    def test_tie_is_unrepairable(self):
+        store, backings, _ = _make_store(
+            2, config=ReplicatedConfig(replication_factor=2)
+        )
+        probe = 0
+        while len(set(store.owners(f"key/{probe}"))) != 2:
+            probe += 1
+        key = f"key/{probe}"
+        backings[0].put(key, b"version-a")
+        backings[1].put(key, b"version-b")
+        report = store.anti_entropy(repair=True)
+        assert report.unrepairable == 2  # both copies flagged, no quorum
+        assert report.repaired == 0
+        assert backings[0].get(key) == b"version-a"  # untouched
+
+    def test_background_pass_piggybacks_on_reads(self):
+        clock = ManualClock()
+        config = ReplicatedConfig(
+            replication_factor=3,
+            anti_entropy_interval_s=0.1,
+            anti_entropy_batch=64,
+        )
+        store, backings, clock = _make_store(3, clock=clock, config=config)
+        for index in range(20):
+            store.put(f"key/{index}", f"value-{index}".encode())
+        backings[0].put("key/0", b"drifted")
+        clock.advance(0.2)  # past the interval; next read triggers a pass
+        store.get("key/5")
+        assert backings[0].get("key/0") == b"value-0"
+
+    def test_report_describe_mentions_counts(self):
+        store, backings, _ = _make_store(2)
+        store.put("k", b"v")
+        report = store.anti_entropy()
+        assert "1 keys checked" in report.describe()
+
+
+class TestFaultPlanReplicaFaults:
+    def test_wrap_replicas_kill_window(self):
+        clock = ManualClock()
+        plan = FaultPlan(num_workers=2, seed=0, replica_kill={0: [(0.1, 0.2)]})
+        backings = [InMemoryKVStore(), InMemoryKVStore()]
+        wrapped = plan.wrap_replicas(backings, clock)
+        assert isinstance(wrapped[0], OutageKVStore)
+        assert wrapped[1] is backings[1]
+        backings[0].put("k", b"v")
+        assert wrapped[0].get("k") == b"v"
+        clock.advance(0.15)
+        with pytest.raises(Exception):
+            wrapped[0].get("k")
+
+    def test_wrap_replicas_corrupt_flips_deterministically(self):
+        plan = FaultPlan(num_workers=1, seed=3, replica_corrupt={0: [(0, 100)]})
+        backing = InMemoryKVStore()
+        backing.put("k", b"hello")
+        wrapped = plan.wrap_replicas([backing])[0]
+        assert isinstance(wrapped, CorruptKVStore)
+        first, second = wrapped.get("k"), wrapped.get("k")
+        assert first == second != b"hello"  # same flip every read
+
+    def test_replica_slow_requires_clock(self):
+        plan = FaultPlan(num_workers=1, seed=0, replica_slow={0: 0.001})
+        with pytest.raises(ValueError):
+            plan.wrap_replicas([InMemoryKVStore()])
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(num_workers=1, replica_kill={0: [(0.5, 0.1)]})
+
+
+class TestInstrumentation:
+    def test_registry_metrics_flow(self):
+        registry = MetricsRegistry()
+        store, backings, clock = _make_store(2)
+        store.instrument(registry)
+        probe = 0
+        while store.owners(f"key/{probe}")[0] != 0:
+            probe += 1
+        key = f"key/{probe}"
+        store.put(key, b"good")
+        store.get(key)
+        backings[0].put(key, b"bads")
+        store.get(key)  # corrupt -> quarantine -> failover
+        store.export_health()
+        text = registry.render()
+        assert 'kv_reads_total{store="replicated"} 2' in text
+        assert 'kv_replica_reads_total{replica="0",outcome="corrupt"} 1' in text
+        assert "kv_failovers_total 1" in text
+        assert 'kv_replica_state{replica="0",state="dead"} 1' in text
+        assert "kv_replica_info" in text
+
+    def test_state_gauge_tracks_transitions(self):
+        registry = MetricsRegistry()
+        store, backings, clock = _make_store(
+            1,
+            config=ReplicatedConfig(
+                replication_factor=1, suspect_after=1, dead_after=1, probe_interval_s=0.1
+            ),
+        )
+        store.instrument(registry)
+        store.put("k", b"v")
+        backings[0].put("k", b"x")
+        with pytest.raises(AllReplicasFailedError):
+            store.get("k")
+        assert 'kv_replica_state{replica="0",state="dead"} 1' in registry.render()
+        store.anti_entropy(repair=False)  # detect-only: no resurrection
+        assert store.health[0].state == "dead"
+
+
+class TestGraphStoreIntegration:
+    def test_graph_roundtrip_through_replicated_store(self, tiny_graph):
+        store, _, _ = _make_store(3)
+        graph_store = GraphStore(store)
+        graph_store.save(tiny_graph)
+        loaded = graph_store.load()
+        np.testing.assert_allclose(loaded.txn_features, tiny_graph.txn_features)
+        np.testing.assert_array_equal(loaded.labels, tiny_graph.labels)
+        np.testing.assert_array_equal(loaded.edge_src, tiny_graph.edge_src)
+
+    def test_graph_roundtrip_over_mmap_replicas(self, tiny_graph, tmp_path):
+        clock = ManualClock()
+        replicas = [
+            MmapKVStore(str(tmp_path / f"replica-{i}.bin")) for i in range(2)
+        ]
+        store = ReplicatedKVStore(
+            replicas, config=ReplicatedConfig(replication_factor=2), clock=clock
+        )
+        graph_store = GraphStore(store)
+        graph_store.save(tiny_graph)  # save() finalizes through the tier
+        loaded = graph_store.load()
+        np.testing.assert_allclose(loaded.txn_features, tiny_graph.txn_features)
+        store.close()
+
+    def test_describe_renders_health_table(self):
+        store, _, _ = _make_store(2)
+        store.put("k", b"v")
+        store.get("k")
+        text = store.describe()
+        assert "replicated store: 2 replicas" in text
+        assert "replica 0:" in text and "replica 1:" in text
+        assert "path:" in text
