@@ -117,6 +117,51 @@ def _parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a chrome://tracing JSON of the fit/epoch span tree here",
     )
+    train.add_argument(
+        "--elastic",
+        action="store_true",
+        help="train under the elastic self-healing supervisor",
+    )
+    train.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        help="elastic worker count (with --elastic)",
+    )
+    train.add_argument(
+        "--chaos",
+        action="store_true",
+        help="with --elastic: kill 2 of 8 workers mid-run, rejoin 1, and "
+        "exit nonzero unless the run self-heals within --chaos-tolerance "
+        "of the fault-free curve",
+    )
+    train.add_argument(
+        "--chaos-tolerance",
+        type=float,
+        default=0.1,
+        help="max |AUC(chaos) - AUC(fault-free)| the gate accepts",
+    )
+    train.add_argument(
+        "--stop-after-epoch",
+        type=int,
+        default=None,
+        metavar="E",
+        help="with --elastic: checkpoint epoch E then exit (kill-and-resume tests)",
+    )
+    train.add_argument(
+        "--kill-at",
+        action="append",
+        default=[],
+        metavar="E:W[,W...]",
+        help="with --elastic: kill workers W at epoch E (repeatable)",
+    )
+    train.add_argument(
+        "--rejoin-at",
+        action="append",
+        default=[],
+        metavar="E:W[,W...]",
+        help="with --elastic: rejoin workers W at epoch E (repeatable)",
+    )
 
     evaluate = commands.add_parser("evaluate", help="evaluate a saved model")
     _add_dataset_args(evaluate)
@@ -277,6 +322,8 @@ def _cmd_datasets(args) -> int:
 
 
 def _cmd_train(args) -> int:
+    if args.elastic:
+        return _cmd_train_elastic(args)
     manager = None
     resume_from = None
     if args.checkpoint_dir:
@@ -333,6 +380,152 @@ def _cmd_train(args) -> int:
 
         events = write_chrome_trace(tracer.spans(), args.trace_out)
         print(f"wrote {events} trace events to {args.trace_out} (open in chrome://tracing)")
+    return 0
+
+
+# Scripted chaos for the CI gate: kill 2 of 8 workers at epoch 1 (the
+# detector must evict them and re-shard), rejoin one at epoch 3 (probing
+# readmission), slow one worker 4x at epoch 2 (backup execution), and
+# corrupt one gradient at epoch 2 (quarantine). Deterministic on the
+# supervisor's ManualClock, so the gate replays bit-for-bit.
+_CHAOS_WORKERS = 8
+_CHAOS_MIN_EPOCHS = 5
+_CHAOS_KILL = {1: [2, 5]}
+_CHAOS_REJOIN = {3: [5]}
+_CHAOS_SLOW = {2: {1: 4.0}}
+_CHAOS_CORRUPT = {2: [3]}
+
+
+def _elastic_run(args, bundle, fault_plan=None, checkpoint=None):
+    """One supervised run; returns (result, ElasticTrainer)."""
+    from .train import ElasticTrainer
+
+    model = _build_model(args, bundle.graph.feature_dim)
+    trainer = ElasticTrainer(
+        model,
+        bundle.graph,
+        bundle.train_nodes,
+        num_workers=args.workers,
+        config=TrainConfig(
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            learning_rate=args.lr,
+            seed=args.seed,
+        ),
+        fault_plan=fault_plan,
+        checkpoint=checkpoint,
+    )
+    result = trainer.fit(
+        bundle.graph,
+        bundle.test_nodes,
+        resume=bool(args.resume),
+        stop_after_epoch=args.stop_after_epoch,
+    )
+    return result, trainer
+
+
+def _parse_schedule(specs):
+    """Parse repeated ``E:W[,W...]`` flags into {epoch: [worker ids]}."""
+    schedule = {}
+    for spec in specs:
+        epoch, _, workers = spec.partition(":")
+        schedule.setdefault(int(epoch), []).extend(
+            int(w) for w in workers.split(",") if w
+        )
+    return schedule
+
+
+def _cmd_train_elastic(args) -> int:
+    from .reliability import FaultPlan
+    from .train import SkipBudgetExhaustedError
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    bundle = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+
+    if not args.chaos:
+        plan = None
+        kills = _parse_schedule(args.kill_at)
+        rejoins = _parse_schedule(args.rejoin_at)
+        if kills or rejoins:
+            plan = FaultPlan(
+                num_workers=args.workers, worker_kill=kills, worker_rejoin=rejoins
+            )
+        try:
+            result, _ = _elastic_run(
+                args, bundle, fault_plan=plan, checkpoint=args.checkpoint_dir
+            )
+        except SkipBudgetExhaustedError as error:
+            print(f"ABORT: {error}", file=sys.stderr)
+            return 2
+        print(f"elastic training over {args.workers} workers:")
+        print(result.describe())
+        if result.metrics:
+            print(
+                f"test: accuracy={result.metrics['accuracy']:.4f} "
+                f"ap={result.metrics['ap']:.4f} auc={result.metrics['auc']:.4f}"
+            )
+        return 0
+
+    # ---- deterministic chaos gate (CI) --------------------------------
+    if args.workers != _CHAOS_WORKERS or args.epochs < _CHAOS_MIN_EPOCHS:
+        print(
+            f"error: --chaos is scripted for --workers {_CHAOS_WORKERS} "
+            f"and --epochs >= {_CHAOS_MIN_EPOCHS}",
+            file=sys.stderr,
+        )
+        return 2
+    print("chaos gate: fault-free baseline ...")
+    baseline, _ = _elastic_run(args, bundle)
+    plan = FaultPlan(
+        num_workers=args.workers,
+        worker_kill=_CHAOS_KILL,
+        worker_rejoin=_CHAOS_REJOIN,
+        worker_slow=_CHAOS_SLOW,
+        grad_corrupt=_CHAOS_CORRUPT,
+    )
+    print("chaos gate: kill 2/8 at epoch 1, rejoin 1 at epoch 3 ...")
+    try:
+        chaos, _ = _elastic_run(args, bundle, fault_plan=plan, checkpoint=args.checkpoint_dir)
+    except SkipBudgetExhaustedError as error:
+        print(f"ABORT: {error}", file=sys.stderr)
+        return 2
+    print(chaos.describe())
+
+    failures = []
+    evicted = sorted(w for record in chaos.history for w in record.evicted)
+    if evicted != sorted(w for ws in _CHAOS_KILL.values() for w in ws):
+        failures.append(f"expected evictions {_CHAOS_KILL}, saw {evicted}")
+    rejoined = sorted(w for record in chaos.history for w in record.rejoined)
+    if rejoined != sorted(w for ws in _CHAOS_REJOIN.values() for w in ws):
+        failures.append(f"expected rejoins {_CHAOS_REJOIN}, saw {rejoined}")
+    if chaos.total_backups < 1:
+        failures.append("straggler backup never fired")
+    if chaos.total_quarantined < 1:
+        failures.append("corrupt gradient was never quarantined")
+    if chaos.total_rollbacks < 1:
+        failures.append("eviction did not trigger a checkpoint rollback")
+    base_auc = baseline.metrics.get("auc", float("nan"))
+    chaos_auc = chaos.metrics.get("auc", float("nan"))
+    delta = abs(base_auc - chaos_auc)
+    if not delta <= args.chaos_tolerance:
+        failures.append(
+            f"chaos AUC {chaos_auc:.4f} vs fault-free {base_auc:.4f}: "
+            f"|delta| {delta:.4f} > tolerance {args.chaos_tolerance}"
+        )
+    print(
+        f"fault-free auc={base_auc:.4f} chaos auc={chaos_auc:.4f} "
+        f"delta={delta:.4f} (tolerance {args.chaos_tolerance})"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("chaos gate passed: evicted, re-sharded, rolled back, readmitted, converged")
     return 0
 
 

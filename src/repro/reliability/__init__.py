@@ -13,6 +13,7 @@ from .checkpoint import (
     TrainingState,
     atomic_write_bytes,
     collect_rng_states,
+    fsync_dir,
     restore_rng_states,
 )
 from .faults import (
@@ -33,6 +34,7 @@ __all__ = [
     "TrainingState",
     "atomic_write_bytes",
     "collect_rng_states",
+    "fsync_dir",
     "restore_rng_states",
     "CorruptKVStore",
     "FaultEvent",

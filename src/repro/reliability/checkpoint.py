@@ -38,6 +38,18 @@ class CheckpointError(RuntimeError):
     """A checkpoint is missing, truncated, or fails its checksum."""
 
 
+def fsync_dir(directory: str) -> None:
+    """fsync a directory so renames/unlinks inside it are durable."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
 def atomic_write_bytes(path: str, data: bytes) -> None:
     """Write ``data`` to ``path`` so a crash never leaves a torn file."""
     directory = os.path.dirname(path) or "."
@@ -48,14 +60,7 @@ def atomic_write_bytes(path: str, data: bytes) -> None:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp_path, path)
-    try:
-        dir_fd = os.open(directory, os.O_RDONLY)
-    except OSError:  # pragma: no cover - platform without dir fds
-        return
-    try:
-        os.fsync(dir_fd)
-    finally:
-        os.close(dir_fd)
+    fsync_dir(directory)
 
 
 # -- RNG capture --------------------------------------------------------
@@ -243,7 +248,16 @@ class CheckpointManager:
 
     # -- save / load ----------------------------------------------------
     def save(self, state: TrainingState) -> str:
-        """Atomically write one checkpoint; rotate old ones out."""
+        """Atomically write one checkpoint; rotate old ones out.
+
+        Rotation ordering is part of the durability contract: the
+        manifest (the pointer to the newest checkpoint) is written and
+        directory-fsynced *before* any stale archive is unlinked, and
+        the unlinks are fsynced afterwards. A crash at any point
+        therefore leaves a manifest whose newest entry exists on disk —
+        at worst with an orphaned stale archive alongside it, never
+        with the newest checkpoint unreachable.
+        """
         blob = _encode_checkpoint(state)
         filename = f"ckpt-{state.epoch:06d}.npz"
         path = os.path.join(self.directory, filename)
@@ -255,13 +269,17 @@ class CheckpointManager:
             {"file": filename, "epoch": state.epoch, "crc32": zlib.crc32(blob), "size": len(blob)}
         )
         entries.sort(key=lambda entry: entry["epoch"])
+        stale_entries = []
         while len(entries) > self.keep_last:
-            stale = entries.pop(0)
+            stale_entries.append(entries.pop(0))
+        manifest["checkpoints"] = entries
+        self._write_manifest(manifest)
+        for stale in stale_entries:
             stale_path = os.path.join(self.directory, stale["file"])
             if os.path.exists(stale_path):
                 os.remove(stale_path)
-        manifest["checkpoints"] = entries
-        self._write_manifest(manifest)
+        if stale_entries:
+            fsync_dir(self.directory)
         return path
 
     def load(self, path: Optional[str] = None) -> TrainingState:

@@ -54,6 +54,17 @@ CRASH = "crash"
 STRAGGLER = "straggler"
 RECOVERY = "recovery"
 
+# Elastic-training event kinds (repro.train.elastic). KILL/REJOIN are
+# *scheduled* by a plan; EVICTION/BACKUP/QUARANTINE are *decisions* the
+# supervisor records in response.
+KILL = "kill"
+REJOIN = "rejoin"
+EVICTION = "evict"
+BACKUP = "backup"
+QUARANTINE = "quarantine"
+
+GRAD_CORRUPT_MODES = ("nan", "bitflip")
+
 
 @dataclass(frozen=True)
 class FaultEvent:
@@ -81,6 +92,22 @@ class FaultPlan:
     (replica -> bit-flip windows) and ``replica_slow`` (replica ->
     per-read delay) are applied by :meth:`wrap_replicas`, which layers
     the matching fault injector around each replica store.
+
+    For the **elastic** supervisor (:mod:`repro.train.elastic`) a plan
+    additionally scripts membership-level faults, all keyed by epoch:
+
+    * ``worker_kill`` — epoch -> workers that die *permanently* at that
+      epoch (heartbeats stop; the failure detector must evict them);
+    * ``worker_rejoin`` — epoch -> previously killed workers asking to
+      be readmitted (they re-enter via the probing state);
+    * ``worker_slow`` — epoch -> {worker: latency multiplier >= 1} for
+      that epoch only (the straggler-mitigation trigger);
+    * ``grad_corrupt`` — epoch -> {worker: mode} where mode is ``nan``
+      (poisoned values) or ``bitflip`` (checksum mismatch); a plain
+      sequence of worker ids means ``nan``.
+
+    Unlike ``crash_schedule`` (transient, auto-rejoin next epoch),
+    ``worker_kill`` removes a worker until an explicit ``worker_rejoin``.
     """
 
     def __init__(
@@ -94,6 +121,10 @@ class FaultPlan:
         replica_kill: Optional[Mapping[int, Sequence[Tuple[float, float]]]] = None,
         replica_corrupt: Optional[Mapping[int, Sequence[Tuple[float, float]]]] = None,
         replica_slow: Optional[Mapping[int, float]] = None,
+        worker_kill: Optional[Mapping[int, Sequence[int]]] = None,
+        worker_rejoin: Optional[Mapping[int, Sequence[int]]] = None,
+        worker_slow: Optional[Mapping[int, Mapping[int, float]]] = None,
+        grad_corrupt: Optional[Mapping[int, object]] = None,
         seed: int = 0,
     ) -> None:
         if num_workers < 1:
@@ -120,7 +151,82 @@ class FaultPlan:
         for replica, delay in self.replica_slow.items():
             if delay < 0:
                 raise ValueError(f"replica_slow[{replica}] must be >= 0")
+        self.worker_kill = self._ids_by_epoch(worker_kill, "worker_kill")
+        self.worker_rejoin = self._ids_by_epoch(worker_rejoin, "worker_rejoin")
+        self.worker_slow = self._slowdowns_by_epoch(worker_slow)
+        self.grad_corrupt = self._corruptions_by_epoch(grad_corrupt)
         self.seed = seed
+
+    def _ids_by_epoch(
+        self, schedule: Optional[Mapping[int, Sequence[int]]], name: str
+    ) -> Dict[int, List[int]]:
+        if not schedule:
+            return {}
+        validated: Dict[int, List[int]] = {}
+        for epoch, workers in schedule.items():
+            ids = sorted(int(w) for w in workers)
+            for worker in ids:
+                if not 0 <= worker < self.num_workers:
+                    raise ValueError(f"{name}[{epoch}] worker {worker} out of range")
+            validated[int(epoch)] = ids
+        return validated
+
+    def _slowdowns_by_epoch(
+        self, schedule: Optional[Mapping[int, Mapping[int, float]]]
+    ) -> Dict[int, Dict[int, float]]:
+        if not schedule:
+            return {}
+        validated: Dict[int, Dict[int, float]] = {}
+        for epoch, slowdowns in schedule.items():
+            entry: Dict[int, float] = {}
+            for worker, factor in slowdowns.items():
+                worker, factor = int(worker), float(factor)
+                if not 0 <= worker < self.num_workers:
+                    raise ValueError(f"worker_slow[{epoch}] worker {worker} out of range")
+                if factor < 1.0:
+                    raise ValueError(f"worker_slow[{epoch}][{worker}] must be >= 1")
+                entry[worker] = factor
+            validated[int(epoch)] = entry
+        return validated
+
+    def _corruptions_by_epoch(
+        self, schedule: Optional[Mapping[int, object]]
+    ) -> Dict[int, Dict[int, str]]:
+        if not schedule:
+            return {}
+        validated: Dict[int, Dict[int, str]] = {}
+        for epoch, spec in schedule.items():
+            entry: Dict[int, str] = {}
+            items = spec.items() if isinstance(spec, Mapping) else [(w, "nan") for w in spec]
+            for worker, mode in items:
+                worker = int(worker)
+                if not 0 <= worker < self.num_workers:
+                    raise ValueError(f"grad_corrupt[{epoch}] worker {worker} out of range")
+                if mode not in GRAD_CORRUPT_MODES:
+                    raise ValueError(
+                        f"grad_corrupt[{epoch}][{worker}] mode {mode!r} not in "
+                        f"{GRAD_CORRUPT_MODES}"
+                    )
+                entry[worker] = mode
+            validated[int(epoch)] = entry
+        return validated
+
+    # -- elastic accessors ----------------------------------------------
+    def kills_at(self, epoch: int) -> List[int]:
+        """Workers scheduled to die permanently at ``epoch``."""
+        return list(self.worker_kill.get(int(epoch), []))
+
+    def rejoins_at(self, epoch: int) -> List[int]:
+        """Previously killed workers asking to rejoin at ``epoch``."""
+        return list(self.worker_rejoin.get(int(epoch), []))
+
+    def slow_at(self, epoch: int) -> Dict[int, float]:
+        """Worker -> latency multiplier for ``epoch`` (absent = 1.0)."""
+        return dict(self.worker_slow.get(int(epoch), {}))
+
+    def corrupt_at(self, epoch: int) -> Dict[int, str]:
+        """Worker -> gradient corruption mode for ``epoch``."""
+        return dict(self.grad_corrupt.get(int(epoch), {}))
 
     @staticmethod
     def _windows_by_replica(

@@ -83,12 +83,20 @@ _MIX_2 = 0x94D049BB133111EB
 _MASK64 = (1 << 64) - 1
 
 
-def _mix64(value: int) -> int:
-    """splitmix64 finalizer over one unsigned 64-bit integer."""
+def mix64(value: int) -> int:
+    """splitmix64 finalizer over one unsigned 64-bit integer.
+
+    Public because the elastic trainer's rendezvous partition placement
+    (:mod:`repro.train.elastic`) reuses exactly this mixing, so worker
+    placement and replica placement share one hash family.
+    """
     z = (value + _GAMMA) & _MASK64
     z = ((z ^ (z >> 30)) * _MIX_1) & _MASK64
     z = ((z ^ (z >> 27)) * _MIX_2) & _MASK64
     return z ^ (z >> 31)
+
+
+_mix64 = mix64
 
 
 def rendezvous_order(key: str, num_replicas: int, seed: int = 0) -> List[int]:

@@ -19,6 +19,7 @@ module reproduces that architecture inside one process:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -27,11 +28,23 @@ import numpy as np
 from .. import nn
 from ..graph.hetero import HeteroGraph
 from ..graph.partition import group_partitions, pic_partition
+from ..storage.replicated import mix64
 from ..util import batched
 from ..obs.trace import Tracer, timed
 from ..reliability.faults import CRASH, RECOVERY, STRAGGLER, FaultEvent, FaultPlan
 from .metrics import accuracy, average_precision, roc_auc
 from .trainer import TrainConfig
+
+
+class NoSurvivorsError(RuntimeError):
+    """Every worker failed in one synchronisation round.
+
+    A synchronous all-reduce with zero contributors has no gradient to
+    apply and no survivor set to renormalise over — silently skipping
+    the step would hide a total outage from the caller. The elastic
+    supervisor (:class:`~repro.train.elastic.ElasticTrainer`) catches
+    this and rolls back to the last verified checkpoint instead.
+    """
 
 
 @dataclass
@@ -48,24 +61,82 @@ class WorkerPartition:
         return len(self.train_local)
 
 
+def rendezvous_assign(
+    partition_ids: np.ndarray, members: Sequence[int], seed: int = 0
+) -> Dict[int, List[int]]:
+    """HRW-assign graph partitions to worker *ids*: member -> partitions.
+
+    Each partition goes to the member with the highest rendezvous score
+    ``mix64(hash(partition) ^ mix64(seed ^ member))`` — the same hash
+    family :mod:`repro.storage.replicated` uses for replica placement.
+    Because the score hashes the member's *id* (not its position in
+    the membership list), evicting a worker reassigns only the
+    partitions it owned; every other partition keeps its owner. Ties
+    break to the lowest member id.
+    """
+    members = sorted({int(m) for m in members})
+    if not members:
+        raise ValueError("need at least one member")
+    assignment: Dict[int, List[int]] = {member: [] for member in members}
+    for part in np.unique(np.asarray(partition_ids, dtype=np.int64)):
+        part_hash = zlib.crc32(f"part-{int(part)}".encode("utf-8"))
+        best = max(
+            members,
+            key=lambda member: (mix64(part_hash ^ mix64((seed & ((1 << 64) - 1)) ^ (member << 32))), -member),
+        )
+        assignment[best].append(int(part))
+    return assignment
+
+
 def make_worker_partitions(
     graph: HeteroGraph,
     train_nodes: Sequence[int],
-    num_workers: int,
+    num_workers: Optional[int] = None,
     num_partitions: int = 128,
     seed: int = 0,
+    members: Optional[Sequence[int]] = None,
+    partition_ids: Optional[np.ndarray] = None,
 ) -> List[WorkerPartition]:
-    """PIC partition → κ groups → per-worker induced subgraphs."""
+    """PIC partition → placement → per-worker induced subgraphs.
+
+    Two placement modes share the PIC partitioning front end:
+
+    * default (``members=None``) — the paper's footnote-3 grouping:
+      partitions sorted by size fill ``num_workers`` balanced groups;
+      worker ids are ``0..num_workers-1``;
+    * rebalance-aware (``members=[ids]``) — each partition is owned by
+      the rendezvous-hash winner among the given member ids
+      (:func:`rendezvous_assign`), so the elastic supervisor can evict
+      or readmit a worker and re-shard *deterministically*, moving only
+      the partitions the membership change actually touches. A member
+      that wins no partition receives an empty shard.
+
+    ``partition_ids`` short-circuits the PIC step with a precomputed
+    assignment (the supervisor computes it once and re-shards cheaply).
+    """
     train_nodes = np.asarray(train_nodes, dtype=np.int64)
-    num_partitions = min(num_partitions, graph.num_nodes)
-    partition_ids = pic_partition(graph, num_partitions, seed=seed)
-    groups = group_partitions(partition_ids, num_workers)
+    if partition_ids is None:
+        num_partitions = min(num_partitions, graph.num_nodes)
+        partition_ids = pic_partition(graph, num_partitions, seed=seed)
+    else:
+        partition_ids = np.asarray(partition_ids, dtype=np.int64)
 
     train_mask = np.zeros(graph.num_nodes, dtype=bool)
     train_mask[train_nodes] = True
 
+    if members is None:
+        if num_workers is None:
+            raise ValueError("need num_workers (or members=)")
+        groups = list(enumerate(group_partitions(partition_ids, num_workers)))
+    else:
+        assignment = rendezvous_assign(partition_ids, members, seed=seed)
+        groups = [
+            (member, np.flatnonzero(np.isin(partition_ids, parts)))
+            for member, parts in assignment.items()
+        ]
+
     workers: List[WorkerPartition] = []
-    for worker_id, nodes in enumerate(groups):
+    for worker_id, nodes in groups:
         subgraph, original_ids = graph.subgraph(nodes)
         local_train = np.flatnonzero(train_mask[original_ids])
         workers.append(
@@ -218,13 +289,16 @@ class DistributedTrainer:
         # DDP all-reduce: average gradients across the survivors, then
         # one optimiser step so every live replica stays identical.
         num_survivors = len(worker_grads)
-        if num_survivors:
-            self.model.zero_grad()
-            for index, param in enumerate(self.model.parameters()):
-                averaged = sum(grads[index] for grads in worker_grads) / num_survivors
-                param.grad = averaged
-            nn.clip_grad_norm(self.model.parameters(), self.config.clip_norm)
-            self.optimizer.step()
+        if not num_survivors:
+            raise NoSurvivorsError(
+                f"epoch {epoch}: all {len(self.workers)} workers failed in one round"
+            )
+        self.model.zero_grad()
+        for index, param in enumerate(self.model.parameters()):
+            averaged = sum(grads[index] for grads in worker_grads) / num_survivors
+            param.grad = averaged
+        nn.clip_grad_norm(self.model.parameters(), self.config.clip_norm)
+        self.optimizer.step()
 
         return DistributedEpoch(
             epoch=epoch,

@@ -1,0 +1,960 @@
+"""Elastic self-healing distributed training (supervision layer).
+
+The paper's detector+ trains on a 16-machine synchronous cluster
+(Sec. 3.3.2) where one dead worker stalls every epoch; multi-hour runs
+over billion-edge graphs cannot assume a static fleet.
+:class:`ElasticTrainer` wraps the simulated DDP cluster of
+:mod:`repro.train.distributed` in the supervision loop a production
+deployment runs, so training survives worker death, slowdown, and
+rejoin with zero manual intervention:
+
+* **Failure detection** — a phi-accrual :class:`FailureDetector`
+  (Hayashibara et al.) driven by per-worker heartbeats on an
+  injectable clock. Suspicion ``phi = -log10 P(silence this long)``
+  accrues continuously from each worker's own inter-heartbeat history,
+  so a naturally slow worker is not declared dead by a fixed timeout.
+  States mirror the replica health machine of
+  :mod:`repro.storage.replicated`: ``healthy → suspect → dead →
+  probing``.
+* **Eviction & re-shard** — a worker declared dead is evicted, the
+  graph partitions it owned are re-assigned by rendezvous hashing
+  (:func:`~repro.train.distributed.rendezvous_assign` — only the
+  victim's partitions move), the all-reduce group is rebuilt over the
+  survivors, and the run rolls back to the last CRC-verified
+  checkpoint so the retried epoch starts from known-good state.
+* **Rejoin** — a previously evicted worker readmits through the
+  probing state with a state catch-up from that same checkpoint; its
+  first completed round confirms it back to healthy.
+* **Straggler mitigation** — per-worker EWMA step latency; when a
+  shard's step exceeds ``straggler_k ×`` the median EWMA, a backup
+  execution of that shard is launched on the fastest peer and the
+  first result wins, ties breaking deterministically to the lower
+  worker id. (Both executions compute the identical gradient — the
+  win decides wall-clock, not arithmetic.)
+* **Gradient integrity** — every shard's gradient carries a CRC32
+  computed at the worker; NaN/Inf values or checksum mismatches are
+  quarantined, the all-reduce renormalises over the accepted shards,
+  and a bounded skip budget aborts the run
+  (:class:`SkipBudgetExhaustedError`, CLI exit 2) when corruption is
+  no longer survivable.
+
+Everything is deterministic on a
+:class:`~repro.reliability.faults.ManualClock`: worker step latencies
+are a pure function of ``(seed, worker)``, fault schedules come from a
+:class:`~repro.reliability.faults.FaultPlan`, and re-sharding is a
+pure function of ``(partition ids, membership, seed)`` — so the chaos
+gate (``repro train --elastic --chaos``) replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .. import nn
+from ..graph.hetero import HeteroGraph
+from ..graph.partition import pic_partition
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import Tracer, timed
+from ..reliability.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    TrainingState,
+    collect_rng_states,
+    restore_rng_states,
+)
+from ..reliability.faults import (
+    BACKUP,
+    EVICTION,
+    KILL,
+    QUARANTINE,
+    REJOIN,
+    FaultEvent,
+    FaultPlan,
+    ManualClock,
+)
+from ..storage.replicated import DEAD, HEALTHY, PROBING, SUSPECT, mix64
+from .distributed import (
+    DistributedTrainer,
+    NoSurvivorsError,
+    WorkerPartition,
+    make_worker_partitions,
+)
+from .metrics import accuracy, average_precision, roc_auc
+from .trainer import TrainConfig
+
+__all__ = [
+    "ElasticConfig",
+    "ElasticEpoch",
+    "ElasticResult",
+    "ElasticTrainer",
+    "ElasticTrainingError",
+    "FailureDetector",
+    "SkipBudgetExhaustedError",
+]
+
+_MASK64 = (1 << 64) - 1
+#: Floor for the survival probability inside phi: caps suspicion at 12
+#: and keeps ``-log10`` finite when ``erfc`` underflows to exactly 0.
+_MIN_SURVIVAL = 1e-12
+
+
+class ElasticTrainingError(RuntimeError):
+    """The supervisor cannot keep the run alive (no members left, or an
+    epoch kept failing after the configured number of rollbacks)."""
+
+
+class SkipBudgetExhaustedError(ElasticTrainingError):
+    """More gradients were quarantined than the skip budget allows.
+
+    Renormalising away a few corrupt gradients is survivable;
+    persistent corruption means the model update stream can no longer
+    be trusted and the run must abort loudly (CLI exit 2) rather than
+    train on whatever survives.
+    """
+
+
+# ----------------------------------------------------------------------
+# Phi-accrual failure detection
+# ----------------------------------------------------------------------
+class FailureDetector:
+    """Phi-accrual failure detector over per-worker heartbeats.
+
+    Each worker's inter-heartbeat intervals feed a bounded window;
+    suspicion for a silent worker is
+    ``phi = -log10 P(interval > elapsed)`` under a normal model of its
+    own history (std floored by ``min_std_s`` so a metronomic worker is
+    not declared dead by scheduling jitter). ``phi >= suspect_phi``
+    marks the worker suspect, ``phi >= dead_phi`` dead; a heartbeat
+    while suspect recants the suspicion, a heartbeat while dead moves
+    to probing (signs of life, but readmission needs a completed
+    round — :meth:`confirm`).
+
+    The clock is injectable: a
+    :class:`~repro.reliability.faults.ManualClock` makes every
+    transition deterministic for tests, ``time.monotonic`` gives real
+    wall-clock detection in live runs.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[int],
+        clock: Callable[[], float],
+        suspect_phi: float = 1.0,
+        dead_phi: float = 4.0,
+        window: int = 64,
+        min_std_s: float = 0.25,
+        bootstrap_interval_s: float = 1.0,
+    ) -> None:
+        if not 0 < suspect_phi <= dead_phi:
+            raise ValueError("need 0 < suspect_phi <= dead_phi")
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        if min_std_s <= 0 or bootstrap_interval_s <= 0:
+            raise ValueError("min_std_s and bootstrap_interval_s must be positive")
+        self.clock = clock
+        self.suspect_phi = suspect_phi
+        self.dead_phi = dead_phi
+        self.window = window
+        self.min_std_s = min_std_s
+        self.bootstrap_interval_s = bootstrap_interval_s
+        self._intervals: Dict[int, deque] = {}
+        self._last: Dict[int, float] = {}
+        self._states: Dict[int, str] = {}
+        self.transitions: List[Tuple[float, int, str, str]] = []  # (at, worker, from, to)
+        for worker in workers:
+            self.add(int(worker))
+
+    # -- membership -----------------------------------------------------
+    def add(self, worker: int, at: Optional[float] = None) -> None:
+        """Start tracking ``worker`` (fresh history, healthy)."""
+        at = self.clock() if at is None else float(at)
+        self._intervals[worker] = deque(maxlen=self.window)
+        self._last[worker] = at
+        self._states[worker] = HEALTHY
+
+    def remove(self, worker: int) -> None:
+        """Stop tracking ``worker`` entirely."""
+        self._intervals.pop(worker, None)
+        self._last.pop(worker, None)
+        self._states.pop(worker, None)
+
+    def workers(self) -> List[int]:
+        return sorted(self._states)
+
+    def state(self, worker: int) -> str:
+        return self._states[worker]
+
+    # -- heartbeats -----------------------------------------------------
+    def heartbeat(self, worker: int, at: Optional[float] = None) -> None:
+        """Record one heartbeat; recants suspicion, revives the dead to
+        probing (a completed round must then :meth:`confirm` them)."""
+        if worker not in self._states:
+            return
+        at = self.clock() if at is None else float(at)
+        interval = at - self._last[worker]
+        if interval > 0:
+            self._intervals[worker].append(interval)
+        self._last[worker] = at
+        if self._states[worker] == SUSPECT:
+            self._transition(worker, HEALTHY, at)
+        elif self._states[worker] == DEAD:
+            self._transition(worker, PROBING, at)
+
+    def phi(self, worker: int, now: Optional[float] = None) -> float:
+        """Current suspicion: ``-log10 P(silence this long)``."""
+        now = self.clock() if now is None else float(now)
+        elapsed = now - self._last[worker]
+        if elapsed <= 0:
+            return 0.0
+        intervals = self._intervals[worker]
+        if intervals:
+            mean = float(np.mean(intervals))
+            std = max(float(np.std(intervals)), self.min_std_s)
+        else:
+            mean = self.bootstrap_interval_s
+            std = max(self.bootstrap_interval_s / 2.0, self.min_std_s)
+        survival = 0.5 * math.erfc((elapsed - mean) / (std * math.sqrt(2.0)))
+        return -math.log10(max(survival, _MIN_SURVIVAL))
+
+    def poll(self, now: Optional[float] = None) -> List[Tuple[int, str, str]]:
+        """Re-evaluate suspicion for every healthy/suspect worker.
+
+        Returns the transitions taken as ``(worker, from, to)``.
+        Probing and dead workers are not re-scored: probing resolves
+        via :meth:`confirm` or renewed silence after readmission, dead
+        stays dead until a heartbeat revives it.
+        """
+        now = self.clock() if now is None else float(now)
+        taken: List[Tuple[int, str, str]] = []
+        for worker in sorted(self._states):
+            state = self._states[worker]
+            if state not in (HEALTHY, SUSPECT):
+                continue
+            phi = self.phi(worker, now)
+            if phi >= self.dead_phi:
+                taken.append((worker, state, DEAD))
+                self._transition(worker, DEAD, now)
+            elif phi >= self.suspect_phi:
+                if state == HEALTHY:
+                    taken.append((worker, state, SUSPECT))
+                    self._transition(worker, SUSPECT, now)
+            elif state == SUSPECT:
+                taken.append((worker, state, HEALTHY))
+                self._transition(worker, HEALTHY, now)
+        return taken
+
+    def mark_probing(self, worker: int, at: Optional[float] = None) -> None:
+        """Admit a (re)joining worker in the probing state with a fresh
+        heartbeat history — its pre-eviction cadence is stale."""
+        at = self.clock() if at is None else float(at)
+        if worker not in self._states:
+            self.add(worker, at)
+        self._intervals[worker].clear()
+        self._last[worker] = at
+        self._transition(worker, PROBING, at)
+
+    def confirm(self, worker: int, at: Optional[float] = None) -> None:
+        """Probing worker completed a full round: healthy again."""
+        if self._states.get(worker) == PROBING:
+            self._transition(worker, HEALTHY, self.clock() if at is None else at)
+
+    def _transition(self, worker: int, to_state: str, at: float) -> None:
+        previous = self._states[worker]
+        if previous == to_state:
+            return
+        self._states[worker] = to_state
+        self.transitions.append((float(at), worker, previous, to_state))
+
+    # -- persistence (elastic resume) -----------------------------------
+    def state_dict(self) -> Dict:
+        """JSON-safe snapshot (keys stringified for the npz manifest)."""
+        return {
+            "states": {str(w): s for w, s in self._states.items()},
+            "last": {str(w): float(t) for w, t in self._last.items()},
+            "intervals": {str(w): [float(i) for i in iv] for w, iv in self._intervals.items()},
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        self._states = {int(w): s for w, s in state["states"].items()}
+        self._last = {int(w): float(t) for w, t in state["last"].items()}
+        self._intervals = {
+            int(w): deque((float(i) for i in iv), maxlen=self.window)
+            for w, iv in state["intervals"].items()
+        }
+
+
+# ----------------------------------------------------------------------
+# Supervisor configuration / records
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ElasticConfig:
+    """Operating envelope of one :class:`ElasticTrainer`."""
+
+    num_partitions: int = 32
+    suspect_phi: float = 1.0
+    dead_phi: float = 4.0
+    detector_window: int = 64
+    min_std_s: float = 0.25
+    heartbeat_grace_s: float = 30.0  # max simulated wait for suspicion to resolve
+    grace_tick_s: float = 0.5  # clock step while waiting on a silent worker
+    straggler_k: float = 2.0  # backup fires when latency > k x median EWMA
+    ewma_alpha: float = 0.4
+    skip_budget: int = 4  # quarantined gradients tolerated per run
+    max_retries_per_epoch: int = 3  # rollback-and-retry bound per epoch
+    base_step_s: float = 1.0  # simulated per-worker step latency ...
+    step_jitter: float = 0.25  # ... spread +-25% deterministically by worker id
+
+    def __post_init__(self) -> None:
+        if self.num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        if self.straggler_k <= 1.0:
+            raise ValueError("straggler_k must be > 1")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.skip_budget < 0:
+            raise ValueError("skip_budget must be >= 0")
+        if self.max_retries_per_epoch < 1:
+            raise ValueError("max_retries_per_epoch must be >= 1")
+        if self.base_step_s <= 0 or not 0.0 <= self.step_jitter < 1.0:
+            raise ValueError("need base_step_s > 0 and 0 <= step_jitter < 1")
+        if self.heartbeat_grace_s <= 0 or self.grace_tick_s <= 0:
+            raise ValueError("heartbeat_grace_s and grace_tick_s must be positive")
+
+
+@dataclass
+class ElasticEpoch:
+    """One supervised synchronisation round (after retries resolved)."""
+
+    epoch: int
+    loss: float
+    wall_seconds: float
+    members: List[int] = field(default_factory=list)
+    eval_auc: Optional[float] = None
+    evicted: List[int] = field(default_factory=list)
+    rejoined: List[int] = field(default_factory=list)
+    backups: List[int] = field(default_factory=list)
+    quarantined: List[int] = field(default_factory=list)
+    retries: int = 0
+    events: List[FaultEvent] = field(default_factory=list)
+
+
+@dataclass
+class ElasticResult:
+    history: List[ElasticEpoch] = field(default_factory=list)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def convergence_curve(self) -> List[Optional[float]]:
+        return [record.eval_auc for record in self.history]
+
+    @property
+    def seconds_per_epoch(self) -> float:
+        if not self.history:
+            return 0.0
+        return float(np.mean([record.wall_seconds for record in self.history]))
+
+    @property
+    def total_evictions(self) -> int:
+        return sum(len(record.evicted) for record in self.history)
+
+    @property
+    def total_rejoins(self) -> int:
+        return sum(len(record.rejoined) for record in self.history)
+
+    @property
+    def total_backups(self) -> int:
+        return sum(len(record.backups) for record in self.history)
+
+    @property
+    def total_quarantined(self) -> int:
+        return sum(len(record.quarantined) for record in self.history)
+
+    @property
+    def total_rollbacks(self) -> int:
+        return sum(record.retries for record in self.history)
+
+    def describe(self) -> str:
+        final_members = self.history[-1].members if self.history else []
+        lines = [
+            f"epochs         : {len(self.history)}",
+            f"final members  : {final_members}",
+            f"evictions      : {self.total_evictions}",
+            f"rejoins        : {self.total_rejoins}",
+            f"backup tasks   : {self.total_backups}",
+            f"quarantined    : {self.total_quarantined}",
+            f"rollbacks      : {self.total_rollbacks}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class _Shard:
+    """One worker's contribution to a round, pre-all-reduce."""
+
+    worker: int
+    grads: List[np.ndarray]
+    loss: float
+    latency: float  # the worker's own step latency (simulated seconds)
+    crc: int  # gradient checksum computed worker-side
+
+
+@dataclass
+class _Round:
+    dead: List[int] = field(default_factory=list)
+    loss: float = 0.0
+    wall_seconds: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# Supervisor
+# ----------------------------------------------------------------------
+class ElasticTrainer:
+    """Self-healing supervisor around the simulated DDP cluster.
+
+    Owns the membership (worker ids), the failure detector, the
+    re-shard machinery, and a rolling CRC-verified checkpoint; the
+    gradient arithmetic itself is delegated to a
+    :class:`~repro.train.distributed.DistributedTrainer` engine whose
+    worker list the supervisor rebuilds on every membership change.
+
+    Requires an advanceable clock (:class:`ManualClock` by default):
+    worker step latencies are *simulated* deterministically from
+    ``(seed, worker id)`` so eviction, backup, and rejoin decisions
+    replay exactly. Pass ``checkpoint=`` a directory or
+    :class:`CheckpointManager` for durable on-disk checkpoints (and
+    ``fit(resume=True)``); without one, rollback uses an in-memory
+    CRC-verified snapshot only.
+    """
+
+    def __init__(
+        self,
+        model,
+        graph: HeteroGraph,
+        train_nodes: Sequence[int],
+        num_workers: int,
+        config: Optional[TrainConfig] = None,
+        elastic: Optional[ElasticConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        clock: Optional[ManualClock] = None,
+        checkpoint: Optional[Union[CheckpointManager, str]] = None,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.model = model
+        self.graph = graph
+        self.train_nodes = np.asarray(train_nodes, dtype=np.int64)
+        self.config = config or TrainConfig()
+        self.elastic = elastic or ElasticConfig()
+        self.fault_plan = fault_plan
+        self.clock = clock or ManualClock()
+        if not hasattr(self.clock, "advance"):
+            raise TypeError("ElasticTrainer needs an advanceable (ManualClock-like) clock")
+        self.tracer = tracer
+        self.registry = registry
+        self._manager = (
+            CheckpointManager(checkpoint) if isinstance(checkpoint, str) else checkpoint
+        )
+
+        num_partitions = min(self.elastic.num_partitions, graph.num_nodes)
+        if num_partitions < num_workers:
+            raise ValueError(
+                f"num_partitions ({num_partitions}) must be >= num_workers ({num_workers})"
+            )
+        self.partition_ids = pic_partition(graph, num_partitions, seed=self.config.seed)
+        self.members: set = set(range(num_workers))
+        self._killed: set = set()
+        self._evicted: set = set()
+        self.detector = FailureDetector(
+            sorted(self.members),
+            self.clock,
+            suspect_phi=self.elastic.suspect_phi,
+            dead_phi=self.elastic.dead_phi,
+            window=self.elastic.detector_window,
+            min_std_s=self.elastic.min_std_s,
+            bootstrap_interval_s=self.elastic.base_step_s,
+        )
+        # Deterministic per-worker step latency: base * (1 +- jitter).
+        self._base = {
+            w: self.elastic.base_step_s
+            * (
+                1.0
+                + self.elastic.step_jitter
+                * (2.0 * (mix64((self.config.seed & _MASK64) ^ (w << 16)) / 2**64) - 1.0)
+            )
+            for w in range(num_workers)
+        }
+        self._ewma: Dict[int, float] = {}
+        self._budget_used = 0
+        self._workers: Dict[int, WorkerPartition] = {}
+        self._reshard()
+        self.engine = DistributedTrainer(
+            model, [self._workers[w] for w in sorted(self.members)], self.config
+        )
+        self._metrics_init()
+        self._last_checkpoint: Optional[Tuple[TrainingState, int]] = None
+        self._checkpoint_state(-1, [])  # rollback target for epoch-0 faults
+
+    # -- metrics --------------------------------------------------------
+    def _metrics_init(self) -> None:
+        if self.registry is None:
+            self._counters = None
+            return
+        self._counters = {
+            "evictions": self.registry.counter(
+                "elastic_evictions_total", "workers evicted by the supervisor", ("worker",)
+            ),
+            "rejoins": self.registry.counter(
+                "elastic_rejoins_total", "workers readmitted after eviction", ("worker",)
+            ),
+            "backups": self.registry.counter(
+                "elastic_backup_tasks_total", "straggler backup executions", ("worker",)
+            ),
+            "quarantines": self.registry.counter(
+                "elastic_quarantines_total", "gradients quarantined", ("worker", "reason")
+            ),
+            "rollbacks": self.registry.counter(
+                "elastic_rollbacks_total", "checkpoint rollbacks taken"
+            ),
+        }
+        self._suspicion_gauge = self.registry.gauge(
+            "elastic_worker_suspicion", "phi-accrual suspicion per worker", ("worker",)
+        )
+        self._members_gauge = self.registry.gauge(
+            "elastic_members", "live all-reduce group size"
+        )
+        self._members_gauge.set(len(self.members))
+
+    def _count(self, name: str, **labels: str) -> None:
+        if self._counters is not None:
+            self._counters[name].inc(**labels)
+
+    # -- sharding / checkpointing ---------------------------------------
+    def _reshard(self) -> None:
+        """Rebuild per-member shards for the current membership (HRW)."""
+        partitions = make_worker_partitions(
+            self.graph,
+            self.train_nodes,
+            members=sorted(self.members),
+            partition_ids=self.partition_ids,
+            seed=self.config.seed,
+        )
+        self._workers = {p.worker_id: p for p in partitions}
+        if hasattr(self, "engine"):
+            self.engine.workers = [self._workers[w] for w in sorted(self.members)]
+
+    @staticmethod
+    def _state_crc(model_state: Dict[str, np.ndarray]) -> int:
+        crc = 0
+        for name in sorted(model_state):
+            crc = zlib.crc32(np.ascontiguousarray(model_state[name]).tobytes(), crc)
+        return crc
+
+    def _elastic_extras(self) -> Dict:
+        return {
+            "members": sorted(self.members),
+            "killed": sorted(self._killed),
+            "evicted": sorted(self._evicted),
+            "ewma": {str(w): float(v) for w, v in self._ewma.items()},
+            "budget_used": int(self._budget_used),
+            "clock": float(self.clock()),
+            "detector": self.detector.state_dict(),
+        }
+
+    def _checkpoint_state(self, epoch: int, history: List[ElasticEpoch]) -> None:
+        """Snapshot everything a rollback or resume needs, CRC-stamped."""
+        state = TrainingState(
+            epoch=epoch,
+            model_state=self.model.state_dict(),
+            optimizer_state=self.engine.optimizer.state_dict(),
+            rng_states={
+                "trainer": self.engine._rng.bit_generator.state,
+                "model": collect_rng_states(self.model),
+                "elastic": self._elastic_extras(),
+            },
+            history=[asdict(record) for record in history],
+        )
+        self._last_checkpoint = (state, self._state_crc(state.model_state))
+        if self._manager is not None and epoch >= 0:
+            self._manager.save(state)
+
+    def _rollback(self, epoch: int) -> None:
+        """Restore model/optimizer/RNG from the last verified snapshot.
+
+        Membership is *not* restored — eviction moves forward; only the
+        training state rewinds to the checkpointed epoch.
+        """
+        if self._last_checkpoint is None:
+            raise ElasticTrainingError("no checkpoint to roll back to")
+        state, crc = self._last_checkpoint
+        if self._state_crc(state.model_state) != crc:
+            raise CheckpointError(
+                f"in-memory checkpoint for epoch {state.epoch} failed its CRC"
+            )
+        with timed(self.tracer, "rollback", epoch=epoch, to_epoch=state.epoch):
+            self.model.load_state_dict(state.model_state)
+            self.engine.optimizer.load_state_dict(state.optimizer_state)
+            self.engine._rng.bit_generator.state = state.rng_states["trainer"]
+            restore_rng_states(self.model, state.rng_states.get("model", {}))
+        self._count("rollbacks")
+
+    # -- resume ---------------------------------------------------------
+    def _restore(self, state: TrainingState, result: ElasticResult) -> int:
+        """Inverse of :meth:`_checkpoint_state`; returns the next epoch."""
+        self.model.load_state_dict(state.model_state)
+        self.engine.optimizer.load_state_dict(state.optimizer_state)
+        self.engine._rng.bit_generator.state = state.rng_states["trainer"]
+        restore_rng_states(self.model, state.rng_states.get("model", {}))
+        extras = state.rng_states.get("elastic", {})
+        self.members = set(extras.get("members", sorted(self.members)))
+        self._killed = set(extras.get("killed", []))
+        self._evicted = set(extras.get("evicted", []))
+        self._ewma = {int(w): float(v) for w, v in extras.get("ewma", {}).items()}
+        self._budget_used = int(extras.get("budget_used", 0))
+        if "clock" in extras and hasattr(self.clock, "now"):
+            self.clock.now = float(extras["clock"])
+        if "detector" in extras:
+            self.detector.load_state_dict(extras["detector"])
+        self._reshard()
+        result.history = [
+            ElasticEpoch(
+                **{
+                    **record,
+                    "events": [FaultEvent(**event) for event in record.get("events", [])],
+                }
+            )
+            for record in state.history
+        ]
+        self._last_checkpoint = (state, self._state_crc(state.model_state))
+        return state.epoch + 1
+
+    # -- the supervised loop --------------------------------------------
+    def fit(
+        self,
+        eval_graph: Optional[HeteroGraph] = None,
+        eval_nodes: Optional[Sequence[int]] = None,
+        resume: bool = False,
+        stop_after_epoch: Optional[int] = None,
+    ) -> ElasticResult:
+        """Train for the configured epochs under supervision.
+
+        ``resume=True`` restores the newest checkpoint from the
+        attached manager — model, optimizer, RNG streams, membership,
+        detector state, and the simulated clock — so the continued run
+        is bit-identical to one that never stopped.
+        ``stop_after_epoch=k`` returns right after epoch ``k`` is
+        checkpointed (the kill half of a kill-and-resume test).
+        """
+        result = ElasticResult()
+        start_epoch = 0
+        if resume:
+            if self._manager is None:
+                raise ElasticTrainingError("resume=True needs a checkpoint manager")
+            start_epoch = self._restore(self._manager.load(), result)
+        for epoch in range(start_epoch, self.config.epochs):
+            record = self._supervised_epoch(epoch)
+            if eval_graph is not None and eval_nodes is not None and len(eval_nodes):
+                scores = self.model.predict_proba(eval_graph, eval_nodes)
+                labels = eval_graph.labels[np.asarray(eval_nodes, dtype=np.int64)]
+                record.eval_auc = roc_auc(labels, scores, default=None)
+            result.history.append(record)
+            self._checkpoint_state(epoch, result.history)
+            if stop_after_epoch is not None and epoch >= stop_after_epoch:
+                return result
+        if eval_graph is not None and eval_nodes is not None and len(eval_nodes):
+            nodes = np.asarray(eval_nodes, dtype=np.int64)
+            scores = self.model.predict_proba(eval_graph, nodes)
+            labels = eval_graph.labels[nodes]
+            result.metrics = {
+                "accuracy": accuracy(labels, scores),
+                "ap": average_precision(labels, scores),
+                "auc": roc_auc(labels, scores, default=float("nan")),
+            }
+        return result
+
+    def _supervised_epoch(self, epoch: int) -> ElasticEpoch:
+        plan = self.fault_plan
+        record = ElasticEpoch(epoch=epoch, loss=0.0, wall_seconds=0.0)
+        with timed(self.tracer, "supervise_epoch", epoch=epoch):
+            # 1. Scheduled rejoins: readmit through probing + catch-up.
+            for worker in plan.rejoins_at(epoch) if plan else []:
+                if worker not in self._evicted:
+                    continue
+                self._readmit(epoch, worker, record)
+            if record.rejoined:
+                with timed(self.tracer, "reshard", epoch=epoch, reason="rejoin"):
+                    self._reshard()
+            # 2. Scheduled kills: heartbeats stop as of this round.
+            for worker in plan.kills_at(epoch) if plan else []:
+                if worker in self.members and worker not in self._killed:
+                    self._killed.add(worker)
+                    record.events.append(
+                        FaultEvent(epoch, worker, KILL, "worker died; heartbeats stopped")
+                    )
+            # 3. Attempt the round; evict + re-shard + roll back + retry
+            #    until it completes or the retry bound trips.
+            while True:
+                try:
+                    outcome = self._attempt_round(epoch, record)
+                except NoSurvivorsError:
+                    outcome = _Round(dead=[])
+                    if record.retries >= self.elastic.max_retries_per_epoch:
+                        raise ElasticTrainingError(
+                            f"epoch {epoch}: no usable gradients after "
+                            f"{record.retries} retries"
+                        )
+                    self._rollback(epoch)
+                    record.retries += 1
+                    continue
+                if outcome.dead:
+                    for worker in outcome.dead:
+                        self._evict(epoch, worker, record)
+                    if not self.members - self._killed:
+                        raise ElasticTrainingError(
+                            f"epoch {epoch}: every worker is dead or dying"
+                        )
+                    with timed(self.tracer, "reshard", epoch=epoch, reason="eviction"):
+                        self._reshard()
+                    self._rollback(epoch)
+                    record.retries += 1
+                    if record.retries > self.elastic.max_retries_per_epoch:
+                        raise ElasticTrainingError(
+                            f"epoch {epoch}: still failing after {record.retries} rollbacks"
+                        )
+                    continue
+                break
+            record.loss = outcome.loss
+            record.wall_seconds = outcome.wall_seconds
+            record.members = sorted(self.members)
+            self._export_suspicion()
+        return record
+
+    def _readmit(self, epoch: int, worker: int, record: ElasticEpoch) -> None:
+        """Eviction's inverse: probing state + checkpoint catch-up."""
+        with timed(self.tracer, "readmit", epoch=epoch, worker=worker):
+            # Catch-up payload: the rejoining worker receives the last
+            # CRC-verified state rather than its stale pre-eviction copy.
+            state, crc = self._last_checkpoint
+            if self._state_crc(state.model_state) != crc:
+                raise CheckpointError("catch-up checkpoint failed its CRC")
+            self.detector.mark_probing(worker)
+        self._evicted.discard(worker)
+        self._killed.discard(worker)
+        self.members.add(worker)
+        record.rejoined.append(worker)
+        record.events.append(
+            FaultEvent(
+                epoch, worker, REJOIN, f"readmitted probing, caught up from epoch {state.epoch}"
+            )
+        )
+        self._count("rejoins", worker=str(worker))
+        if self._counters is not None:
+            self._members_gauge.set(len(self.members))
+
+    def _evict(self, epoch: int, worker: int, record: ElasticEpoch) -> None:
+        with timed(self.tracer, "evict", epoch=epoch, worker=worker):
+            self.members.discard(worker)
+            self._killed.discard(worker)
+            self._evicted.add(worker)
+        record.evicted.append(worker)
+        record.events.append(
+            FaultEvent(epoch, worker, EVICTION, "declared dead by phi-accrual detector")
+        )
+        self._count("evictions", worker=str(worker))
+        if self._counters is not None:
+            self._members_gauge.set(len(self.members))
+
+    def _attempt_round(self, epoch: int, record: ElasticEpoch) -> _Round:
+        """One all-reduce attempt over the current membership."""
+        elastic = self.elastic
+        slow = self.fault_plan.slow_at(epoch) if self.fault_plan else {}
+        corrupt = self.fault_plan.corrupt_at(epoch) if self.fault_plan else {}
+        round_start = self.clock()
+
+        # Live workers compute their shard gradient; latency simulated.
+        shards: List[_Shard] = []
+        for worker in sorted(self.members):
+            if worker in self._killed:
+                continue
+            grads, loss, _ = self.engine._worker_gradients(self._workers[worker])
+            latency = self._base[worker] * slow.get(worker, 1.0)
+            shards.append(_Shard(worker, grads, loss, latency, self._grad_crc(grads)))
+
+        effective = {shard.worker: shard.latency for shard in shards}
+        self._mitigate_stragglers(epoch, shards, slow, effective, record)
+
+        # Advance the simulated round; deliver heartbeats at completion.
+        wall = max(effective.values()) if effective else elastic.grace_tick_s
+        self.clock.advance(wall)
+        for shard in sorted(shards, key=lambda s: (effective[s.worker], s.worker)):
+            self.detector.heartbeat(shard.worker, at=round_start + effective[shard.worker])
+        self.detector.poll()
+
+        # Workers the all-reduce never heard from: hold the barrier open
+        # (live workers keep heartbeating) until suspicion resolves.
+        missing = sorted((self.members & self._killed))
+        waited = 0.0
+        while (
+            missing
+            and any(self.detector.state(w) != DEAD for w in missing)
+            and waited < elastic.heartbeat_grace_s
+        ):
+            self.clock.advance(elastic.grace_tick_s)
+            waited += elastic.grace_tick_s
+            for shard in shards:
+                self.detector.heartbeat(shard.worker)
+            self.detector.poll()
+        dead = [w for w in missing if self.detector.state(w) == DEAD]
+        if dead:
+            return _Round(dead=dead)
+
+        # A probing (rejoined) worker that completed the round is back.
+        for shard in shards:
+            if self.detector.state(shard.worker) == PROBING:
+                self.detector.confirm(shard.worker)
+
+        accepted = self._integrity_check(epoch, shards, corrupt, record)
+        if not accepted:
+            raise NoSurvivorsError(f"epoch {epoch}: every shard gradient was quarantined")
+
+        # All-reduce renormalised over the accepted shards.
+        self.model.zero_grad()
+        for index, param in enumerate(self.model.parameters()):
+            averaged = sum(shard.grads[index] for shard in accepted) / len(accepted)
+            param.grad = averaged
+        nn.clip_grad_norm(self.model.parameters(), self.config.clip_norm)
+        self.engine.optimizer.step()
+
+        for shard in shards:
+            previous = self._ewma.get(shard.worker)
+            self._ewma[shard.worker] = (
+                shard.latency
+                if previous is None
+                else elastic.ewma_alpha * shard.latency + (1 - elastic.ewma_alpha) * previous
+            )
+        return _Round(
+            loss=float(np.mean([shard.loss for shard in accepted])),
+            wall_seconds=float(wall + waited),
+        )
+
+    def _mitigate_stragglers(
+        self,
+        epoch: int,
+        shards: List[_Shard],
+        slow: Dict[int, float],
+        effective: Dict[int, float],
+        record: ElasticEpoch,
+    ) -> None:
+        """Backup-execute shards running past ``k x`` the median EWMA.
+
+        The backup re-runs the *same* shard, so its gradient is
+        bit-identical; first result wins only the wall-clock race.
+        Ties (equal finish) break to the lower worker id.
+        """
+        if len(shards) < 2 or not all(s.worker in self._ewma for s in shards):
+            return
+        threshold = self.elastic.straggler_k * float(
+            np.median([self._ewma[s.worker] for s in shards])
+        )
+        for shard in shards:
+            if shard.latency <= threshold:
+                continue
+            peers = [s for s in shards if s.worker != shard.worker]
+            backup = min(
+                peers, key=lambda s: (self._base[s.worker] * slow.get(s.worker, 1.0), s.worker)
+            )
+            backup_latency = self._base[backup.worker] * slow.get(backup.worker, 1.0)
+            backup_finish = threshold + backup_latency
+            if backup_finish < shard.latency:
+                winner, finish = backup.worker, backup_finish
+            elif backup_finish > shard.latency:
+                winner, finish = shard.worker, shard.latency
+            else:  # deterministic tie-break: lower worker id wins
+                winner = min(shard.worker, backup.worker)
+                finish = shard.latency
+            effective[shard.worker] = finish
+            with timed(
+                self.tracer, "backup", epoch=epoch, straggler=shard.worker, backup=backup.worker
+            ):
+                record.backups.append(shard.worker)
+                record.events.append(
+                    FaultEvent(
+                        epoch,
+                        shard.worker,
+                        BACKUP,
+                        f"backup on worker {backup.worker}; "
+                        f"{'backup' if winner == backup.worker else 'primary'} won "
+                        f"at {finish:.3f}s",
+                    )
+                )
+            self._count("backups", worker=str(shard.worker))
+
+    @staticmethod
+    def _grad_crc(grads: List[np.ndarray]) -> int:
+        crc = 0
+        for grad in grads:
+            crc = zlib.crc32(np.ascontiguousarray(grad).tobytes(), crc)
+        return crc
+
+    def _integrity_check(
+        self,
+        epoch: int,
+        shards: List[_Shard],
+        corrupt: Dict[int, str],
+        record: ElasticEpoch,
+    ) -> List[_Shard]:
+        """Quarantine NaN/Inf and checksum-failing gradients (budgeted)."""
+        accepted: List[_Shard] = []
+        for shard in shards:
+            mode = corrupt.get(shard.worker)
+            if mode is not None:
+                self._inject_corruption(epoch, shard, mode)
+            reason = None
+            if not all(np.isfinite(grad).all() for grad in shard.grads):
+                reason = "nan"
+            elif self._grad_crc(shard.grads) != shard.crc:
+                reason = "checksum"
+            if reason is None:
+                accepted.append(shard)
+                continue
+            with timed(
+                self.tracer, "quarantine", epoch=epoch, worker=shard.worker, reason=reason
+            ):
+                record.quarantined.append(shard.worker)
+                record.events.append(
+                    FaultEvent(
+                        epoch, shard.worker, QUARANTINE, f"gradient quarantined ({reason})"
+                    )
+                )
+            self._count("quarantines", worker=str(shard.worker), reason=reason)
+            self._budget_used += 1
+            if self._budget_used > self.elastic.skip_budget:
+                raise SkipBudgetExhaustedError(
+                    f"epoch {epoch}: {self._budget_used} gradients quarantined, "
+                    f"budget is {self.elastic.skip_budget}"
+                )
+        return accepted
+
+    def _inject_corruption(self, epoch: int, shard: _Shard, mode: str) -> None:
+        """Scripted in-flight corruption, *after* the worker-side CRC."""
+        target = next((g for g in shard.grads if g.size), None)
+        if target is None:
+            return
+        slot = mix64((epoch << 20) ^ (shard.worker << 4) ^ (self.config.seed & _MASK64))
+        if mode == "nan":
+            target.flat[slot % target.size] = np.nan
+        else:  # bitflip: flip one byte so only the checksum notices
+            view = target.view(np.uint8).reshape(-1)
+            view[slot % view.size] ^= 0xFF
+
+    def _export_suspicion(self) -> None:
+        if self._counters is None:
+            return
+        for worker in self.detector.workers():
+            self._suspicion_gauge.set(self.detector.phi(worker), worker=str(worker))

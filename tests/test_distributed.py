@@ -190,10 +190,14 @@ class TestFaultInjectedTraining:
         assert all(len(r.failed_workers) == 1 for r in degraded.history)
         assert abs(degraded.metrics["auc"] - clean.metrics["auc"]) <= 0.05
 
-    def test_all_workers_crashed_skips_step(self, detector_config, tiny_graph, tiny_splits):
+    def test_all_workers_crashed_raises_typed_error(
+        self, detector_config, tiny_graph, tiny_splits
+    ):
         """A round with zero survivors (scripted, bypassing the plan's
-        survivor guarantee) must not step the optimiser or crash."""
-        from repro.train.distributed import make_worker_partitions
+        survivor guarantee) surfaces NoSurvivorsError — a total outage
+        must be handled by a supervisor (rollback), never silently
+        skipped — and must not step the optimiser."""
+        from repro.train.distributed import NoSurvivorsError, make_worker_partitions
 
         train, _ = tiny_splits
         workers = make_worker_partitions(tiny_graph, train, num_workers=2, num_partitions=8)
@@ -209,7 +213,7 @@ class TestFaultInjectedTraining:
             model, workers, TrainConfig(epochs=1), fault_plan=TotalOutagePlan()
         )
         before = {k: v.copy() for k, v in model.state_dict().items()}
-        record = trainer.train_epoch(0)
-        assert record.num_survivors == 0
+        with pytest.raises(NoSurvivorsError, match="all 2 workers"):
+            trainer.train_epoch(0)
         after = model.state_dict()
         assert all(np.array_equal(before[k], after[k]) for k in before)

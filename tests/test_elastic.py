@@ -1,0 +1,736 @@
+"""Elastic self-healing training: detector, re-shard, rollback, rejoin.
+
+Everything runs on a ManualClock, so every suspicion value, eviction,
+backup race, and rollback in this file is exactly reproducible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import GEMModel
+from repro.reliability import FaultPlan, ManualClock
+from repro.storage.replicated import DEAD, HEALTHY, PROBING, SUSPECT
+from repro.train import (
+    DistributedTrainer,
+    ElasticConfig,
+    ElasticTrainer,
+    ElasticTrainingError,
+    FailureDetector,
+    NoSurvivorsError,
+    SkipBudgetExhaustedError,
+    TrainConfig,
+    make_worker_partitions,
+    rendezvous_assign,
+)
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _detector(workers=(0, 1, 2), **overrides):
+    clock = ManualClock()
+    defaults = dict(
+        suspect_phi=1.0, dead_phi=4.0, window=8, min_std_s=0.25, bootstrap_interval_s=1.0
+    )
+    defaults.update(overrides)
+    return FailureDetector(workers, clock, **defaults), clock
+
+
+def _warm(detector, clock, workers, beats=6, interval=1.0):
+    """Regular heartbeats so phi has a tight history to accrue against."""
+    for _ in range(beats):
+        clock.advance(interval)
+        for worker in workers:
+            detector.heartbeat(worker)
+
+
+def _trainer(tiny_graph, tiny_splits, detector_config, num_workers=4, **kwargs):
+    train, _ = tiny_splits
+    kwargs.setdefault("config", TrainConfig(epochs=3, learning_rate=5e-3, seed=0))
+    kwargs.setdefault("elastic", ElasticConfig(num_partitions=16))
+    model = GEMModel(detector_config)
+    return (
+        ElasticTrainer(model, tiny_graph, train, num_workers, **kwargs),
+        model,
+    )
+
+
+# ----------------------------------------------------------------------
+# rendezvous placement
+# ----------------------------------------------------------------------
+class TestRendezvousAssign:
+    PARTS = np.arange(32)
+
+    def test_deterministic(self):
+        a = rendezvous_assign(self.PARTS, [0, 1, 2, 3])
+        b = rendezvous_assign(self.PARTS, [0, 1, 2, 3])
+        assert a == b
+
+    def test_covers_every_partition_exactly_once(self):
+        assignment = rendezvous_assign(self.PARTS, [0, 1, 2, 3, 4])
+        owned = sorted(p for parts in assignment.values() for p in parts)
+        assert owned == list(range(32))
+
+    def test_eviction_moves_only_victims_partitions(self):
+        before = rendezvous_assign(self.PARTS, range(8))
+        after = rendezvous_assign(self.PARTS, [m for m in range(8) if m != 2])
+        for member in after:
+            # every survivor keeps what it had, plus orphans from 2
+            assert set(before[member]) <= set(after[member])
+        moved = sorted(p for m in after for p in set(after[m]) - set(before[m]))
+        assert moved == before[2]
+
+    def test_rejoin_reclaims_exactly_its_partitions(self):
+        full = rendezvous_assign(self.PARTS, range(8))
+        without = rendezvous_assign(self.PARTS, [m for m in range(8) if m != 5])
+        back = rendezvous_assign(self.PARTS, range(8))
+        assert back == full
+        lost = sorted(p for m in without for p in set(without[m]) - set(full[m]))
+        assert lost == full[5]
+
+    def test_member_ids_not_positions(self):
+        """Placement keys off worker *ids*: {0,1,2} and {5,9,40} give
+        different owners, but dropping an id never renumbers survivors."""
+        sparse = rendezvous_assign(self.PARTS, [5, 9, 40])
+        assert set(sparse) == {5, 9, 40}
+        smaller = rendezvous_assign(self.PARTS, [5, 40])
+        assert set(smaller[5]) >= set(sparse[5])
+        assert set(smaller[40]) >= set(sparse[40])
+
+    def test_seed_changes_placement(self):
+        assert rendezvous_assign(self.PARTS, range(4), seed=0) != rendezvous_assign(
+            self.PARTS, range(4), seed=1
+        )
+
+    def test_empty_members_rejected(self):
+        with pytest.raises(ValueError, match="at least one member"):
+            rendezvous_assign(self.PARTS, [])
+
+    def test_make_worker_partitions_members_mode(self, tiny_graph, tiny_splits):
+        train, _ = tiny_splits
+        workers = make_worker_partitions(
+            tiny_graph, train, members=[0, 3, 7], num_partitions=16
+        )
+        assert [w.worker_id for w in workers] == [0, 3, 7]
+        total = sum(len(w.original_ids) for w in workers)
+        assert total == tiny_graph.num_nodes
+
+    def test_make_worker_partitions_allows_empty_shard(self, tiny_graph, tiny_splits):
+        """A member that wins no partition gets an empty (but valid) shard."""
+        train, _ = tiny_splits
+        partition_ids = np.zeros(tiny_graph.num_nodes, dtype=np.int64)  # one partition
+        workers = make_worker_partitions(
+            tiny_graph, train, members=[0, 1], partition_ids=partition_ids
+        )
+        sizes = sorted(len(w.original_ids) for w in workers)
+        assert sizes == [0, tiny_graph.num_nodes]
+
+
+# ----------------------------------------------------------------------
+# phi-accrual failure detection
+# ----------------------------------------------------------------------
+class TestFailureDetector:
+    def test_starts_healthy(self):
+        detector, _ = _detector()
+        assert all(detector.state(w) == HEALTHY for w in detector.workers())
+
+    def test_phi_grows_with_silence(self):
+        detector, clock = _detector()
+        _warm(detector, clock, [0, 1, 2])
+        clock.advance(1.0)
+        low = detector.phi(0)
+        clock.advance(3.0)
+        assert detector.phi(0) > low
+
+    def test_phi_zero_right_after_heartbeat(self):
+        detector, clock = _detector()
+        _warm(detector, clock, [0, 1, 2])
+        assert detector.phi(0) == 0.0
+
+    def test_silent_worker_becomes_suspect_then_dead(self):
+        detector, clock = _detector()
+        _warm(detector, clock, [0, 1, 2])
+        clock.advance(1.8)
+        assert (0, HEALTHY, SUSPECT) in detector.poll()
+        clock.advance(10.0)
+        assert (0, SUSPECT, DEAD) in detector.poll()
+        assert detector.state(0) == DEAD
+
+    def test_heartbeat_recants_suspicion(self):
+        detector, clock = _detector()
+        _warm(detector, clock, [0, 1, 2])
+        clock.advance(1.8)
+        detector.poll()
+        assert detector.state(0) == SUSPECT
+        detector.heartbeat(0)
+        assert detector.state(0) == HEALTHY
+
+    def test_dead_worker_heartbeat_moves_to_probing_not_healthy(self):
+        detector, clock = _detector()
+        _warm(detector, clock, [0, 1, 2])
+        clock.advance(30.0)
+        detector.poll()
+        assert detector.state(0) == DEAD
+        detector.heartbeat(0)
+        assert detector.state(0) == PROBING
+
+    def test_confirm_promotes_probing_to_healthy(self):
+        detector, clock = _detector()
+        detector.mark_probing(1)
+        assert detector.state(1) == PROBING
+        detector.confirm(1)
+        assert detector.state(1) == HEALTHY
+
+    def test_confirm_is_noop_for_healthy(self):
+        detector, _ = _detector()
+        detector.confirm(0)
+        assert detector.state(0) == HEALTHY
+        assert detector.transitions == []
+
+    def test_mark_probing_clears_stale_history(self):
+        detector, clock = _detector()
+        _warm(detector, clock, [0, 1, 2])
+        clock.advance(100.0)
+        detector.mark_probing(0)
+        # fresh history: the bootstrap prior applies again
+        assert list(detector._intervals[0]) == []
+        assert detector.phi(0) == 0.0
+
+    def test_live_workers_unaffected_by_dead_peer(self):
+        detector, clock = _detector()
+        _warm(detector, clock, [0, 1, 2])
+        for _ in range(20):
+            clock.advance(1.0)
+            detector.heartbeat(1)
+            detector.heartbeat(2)
+            detector.poll()
+        assert detector.state(0) == DEAD
+        assert detector.state(1) == HEALTHY
+        assert detector.state(2) == HEALTHY
+
+    def test_bootstrap_prior_before_history(self):
+        detector, clock = _detector(bootstrap_interval_s=2.0)
+        clock.advance(2.0)
+        assert detector.phi(0) < 1.0  # on schedule: unsuspicious
+        clock.advance(8.0)
+        assert detector.phi(0) > 4.0  # 5x the expected interval
+
+    def test_min_std_floor_prevents_hair_trigger(self):
+        """A metronomically regular worker (zero variance) must not be
+        declared dead by a tiny scheduling hiccup."""
+        detector, clock = _detector(min_std_s=0.25)
+        _warm(detector, clock, [0], beats=8, interval=1.0)
+        clock.advance(1.1)  # 100 ms late
+        assert detector.phi(0) < 1.0
+
+    def test_phi_is_finite_even_after_long_silence(self):
+        detector, clock = _detector()
+        _warm(detector, clock, [0, 1, 2])
+        clock.advance(1e6)
+        assert np.isfinite(detector.phi(0))
+
+    def test_add_and_remove_workers(self):
+        detector, clock = _detector([0])
+        detector.add(7)
+        assert detector.workers() == [0, 7]
+        detector.remove(0)
+        assert detector.workers() == [7]
+        detector.heartbeat(0)  # unknown worker: ignored
+        assert detector.workers() == [7]
+
+    def test_poll_recants_suspect_whose_phi_dropped(self):
+        detector, clock = _detector()
+        _warm(detector, clock, [0, 1, 2])
+        clock.advance(1.8)
+        detector.poll()
+        assert detector.state(0) == SUSPECT
+        detector.heartbeat(0, at=clock())
+        assert detector.state(0) == HEALTHY
+
+    def test_transitions_are_recorded_in_order(self):
+        detector, clock = _detector()
+        _warm(detector, clock, [0, 1, 2])
+        clock.advance(30.0)
+        detector.poll()
+        kinds = [(w, f, t) for (_, w, f, t) in detector.transitions]
+        assert (0, HEALTHY, DEAD) in kinds or (0, SUSPECT, DEAD) in kinds
+
+    def test_state_dict_roundtrip(self):
+        detector, clock = _detector()
+        _warm(detector, clock, [0, 1, 2])
+        clock.advance(30.0)
+        detector.poll()
+        snapshot = detector.state_dict()
+        other, _ = _detector()
+        other.load_state_dict(snapshot)
+        assert other.state(0) == detector.state(0)
+        assert other._last == detector._last
+        assert {w: list(iv) for w, iv in other._intervals.items()} == {
+            w: list(iv) for w, iv in detector._intervals.items()
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="suspect_phi"):
+            FailureDetector([0], ManualClock(), suspect_phi=5.0, dead_phi=4.0)
+        with pytest.raises(ValueError, match="window"):
+            FailureDetector([0], ManualClock(), window=1)
+        with pytest.raises(ValueError, match="positive"):
+            FailureDetector([0], ManualClock(), min_std_s=0.0)
+
+
+# ----------------------------------------------------------------------
+# config validation / construction
+# ----------------------------------------------------------------------
+class TestElasticConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ElasticConfig(straggler_k=1.0)
+        with pytest.raises(ValueError):
+            ElasticConfig(ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            ElasticConfig(skip_budget=-1)
+        with pytest.raises(ValueError):
+            ElasticConfig(max_retries_per_epoch=0)
+        with pytest.raises(ValueError):
+            ElasticConfig(step_jitter=1.0)
+
+    def test_trainer_rejects_non_advanceable_clock(
+        self, tiny_graph, tiny_splits, detector_config
+    ):
+        import time
+
+        with pytest.raises(TypeError, match="advanceable"):
+            _trainer(tiny_graph, tiny_splits, detector_config, clock=time.monotonic)
+
+    def test_trainer_needs_enough_partitions(
+        self, tiny_graph, tiny_splits, detector_config
+    ):
+        with pytest.raises(ValueError, match="num_partitions"):
+            _trainer(
+                tiny_graph,
+                tiny_splits,
+                detector_config,
+                num_workers=8,
+                elastic=ElasticConfig(num_partitions=4),
+            )
+
+
+# ----------------------------------------------------------------------
+# fault-free supervision
+# ----------------------------------------------------------------------
+class TestElasticBasics:
+    def test_fault_free_run_trains(self, tiny_graph, tiny_splits, detector_config):
+        trainer, _ = _trainer(tiny_graph, tiny_splits, detector_config)
+        _, test = tiny_splits
+        result = trainer.fit(tiny_graph, test)
+        assert len(result.history) == 3
+        assert result.history[-1].loss < result.history[0].loss
+        assert result.metrics["auc"] > 0.5
+
+    def test_fault_free_run_has_no_supervision_events(
+        self, tiny_graph, tiny_splits, detector_config
+    ):
+        trainer, _ = _trainer(tiny_graph, tiny_splits, detector_config)
+        result = trainer.fit()
+        assert result.total_evictions == 0
+        assert result.total_rejoins == 0
+        assert result.total_quarantined == 0
+        assert result.total_rollbacks == 0
+        assert all(record.members == [0, 1, 2, 3] for record in result.history)
+
+    def test_membership_matches_shards(self, tiny_graph, tiny_splits, detector_config):
+        trainer, _ = _trainer(tiny_graph, tiny_splits, detector_config)
+        assert sorted(trainer._workers) == sorted(trainer.members)
+        assert sorted(w.worker_id for w in trainer.engine.workers) == sorted(trainer.members)
+
+    def test_deterministic_across_runs(self, tiny_graph, tiny_splits, detector_config):
+        r1 = _trainer(tiny_graph, tiny_splits, detector_config)[0].fit()
+        r2 = _trainer(tiny_graph, tiny_splits, detector_config)[0].fit()
+        assert [e.loss for e in r1.history] == [e.loss for e in r2.history]
+        assert [e.wall_seconds for e in r1.history] == [e.wall_seconds for e in r2.history]
+
+
+# ----------------------------------------------------------------------
+# eviction / re-shard / rollback
+# ----------------------------------------------------------------------
+class TestEviction:
+    def test_killed_workers_are_evicted(self, tiny_graph, tiny_splits, detector_config):
+        plan = FaultPlan(num_workers=4, worker_kill={1: [2]})
+        trainer, _ = _trainer(tiny_graph, tiny_splits, detector_config, fault_plan=plan)
+        result = trainer.fit()
+        assert result.history[1].evicted == [2]
+        assert result.history[1].retries == 1
+        assert result.history[1].members == [0, 1, 3]
+        assert result.history[2].members == [0, 1, 3]
+        assert trainer.detector.state(2) == DEAD
+
+    def test_eviction_rolls_back_to_checkpoint(
+        self, tiny_graph, tiny_splits, detector_config
+    ):
+        plan = FaultPlan(num_workers=4, worker_kill={1: [1]})
+        trainer, _ = _trainer(tiny_graph, tiny_splits, detector_config, fault_plan=plan)
+        result = trainer.fit()
+        assert result.total_rollbacks == 1
+
+    def test_eviction_reshards_over_survivors(
+        self, tiny_graph, tiny_splits, detector_config
+    ):
+        plan = FaultPlan(num_workers=4, worker_kill={1: [2]})
+        trainer, _ = _trainer(tiny_graph, tiny_splits, detector_config, fault_plan=plan)
+        trainer.fit()
+        assert sorted(trainer._workers) == [0, 1, 3]
+        covered = sum(len(w.original_ids) for w in trainer._workers.values())
+        assert covered == tiny_graph.num_nodes
+
+    def test_all_workers_killed_aborts(self, tiny_graph, tiny_splits, detector_config):
+        plan = FaultPlan(num_workers=2, worker_kill={0: [0, 1]})
+        trainer, _ = _trainer(
+            tiny_graph, tiny_splits, detector_config, num_workers=2, fault_plan=plan
+        )
+        with pytest.raises(ElasticTrainingError, match="dead or dying"):
+            trainer.fit()
+
+    def test_kill_two_of_eight(self, tiny_graph, tiny_splits, detector_config):
+        plan = FaultPlan(num_workers=8, worker_kill={1: [2, 5]})
+        trainer, _ = _trainer(
+            tiny_graph, tiny_splits, detector_config, num_workers=8, fault_plan=plan
+        )
+        result = trainer.fit()
+        assert sorted(result.history[1].evicted) == [2, 5]
+        assert result.history[-1].members == [0, 1, 3, 4, 6, 7]
+
+
+# ----------------------------------------------------------------------
+# rejoin
+# ----------------------------------------------------------------------
+class TestRejoin:
+    def test_evicted_worker_rejoins_via_probing(
+        self, tiny_graph, tiny_splits, detector_config
+    ):
+        plan = FaultPlan(num_workers=4, worker_kill={0: [3]}, worker_rejoin={2: [3]})
+        trainer, _ = _trainer(tiny_graph, tiny_splits, detector_config, fault_plan=plan)
+        result = trainer.fit()
+        assert result.history[0].evicted == [3]
+        assert result.history[2].rejoined == [3]
+        assert result.history[2].members == [0, 1, 2, 3]
+        # its first completed round confirmed it healthy again
+        assert trainer.detector.state(3) == HEALTHY
+
+    def test_rejoin_restores_shard_ownership(
+        self, tiny_graph, tiny_splits, detector_config
+    ):
+        plan = FaultPlan(num_workers=4, worker_kill={0: [3]}, worker_rejoin={1: [3]})
+        trainer, _ = _trainer(tiny_graph, tiny_splits, detector_config, fault_plan=plan)
+        original = rendezvous_assign(trainer.partition_ids, [0, 1, 2, 3], seed=0)
+        trainer.fit()
+        restored = {
+            w: sorted(np.unique(trainer.partition_ids[p.original_ids]).tolist())
+            for w, p in trainer._workers.items()
+        }
+        assert restored[3] == original[3]
+
+    def test_rejoin_of_never_evicted_worker_is_ignored(
+        self, tiny_graph, tiny_splits, detector_config
+    ):
+        plan = FaultPlan(num_workers=4, worker_rejoin={1: [2]})
+        trainer, _ = _trainer(tiny_graph, tiny_splits, detector_config, fault_plan=plan)
+        result = trainer.fit()
+        assert result.total_rejoins == 0
+
+    def test_rejoin_records_catch_up_event(self, tiny_graph, tiny_splits, detector_config):
+        plan = FaultPlan(num_workers=4, worker_kill={0: [3]}, worker_rejoin={2: [3]})
+        trainer, _ = _trainer(tiny_graph, tiny_splits, detector_config, fault_plan=plan)
+        result = trainer.fit()
+        details = [e.detail for e in result.history[2].events if e.kind == "rejoin"]
+        assert details and "caught up from epoch 1" in details[0]
+
+
+# ----------------------------------------------------------------------
+# straggler mitigation
+# ----------------------------------------------------------------------
+class TestStraggler:
+    def test_slow_worker_gets_backup(self, tiny_graph, tiny_splits, detector_config):
+        plan = FaultPlan(num_workers=4, worker_slow={1: {2: 5.0}})
+        trainer, _ = _trainer(tiny_graph, tiny_splits, detector_config, fault_plan=plan)
+        result = trainer.fit()
+        assert result.history[1].backups == [2]
+        assert result.history[0].backups == []  # no EWMA history yet
+
+    def test_backup_caps_the_walls_clock(self, tiny_graph, tiny_splits, detector_config):
+        slow = FaultPlan(num_workers=4, worker_slow={1: {2: 5.0}})
+        with_backup = _trainer(
+            tiny_graph, tiny_splits, detector_config, fault_plan=slow
+        )[0].fit()
+        baseline = _trainer(tiny_graph, tiny_splits, detector_config)[0].fit()
+        slowed_epoch = with_backup.history[1].wall_seconds
+        # first-result-wins: far below the straggler's 5x latency
+        assert slowed_epoch < 5.0 * baseline.history[1].wall_seconds * 0.7
+
+    def test_mild_slowdown_below_threshold_no_backup(
+        self, tiny_graph, tiny_splits, detector_config
+    ):
+        plan = FaultPlan(num_workers=4, worker_slow={1: {2: 1.3}})
+        result = _trainer(tiny_graph, tiny_splits, detector_config, fault_plan=plan)[0].fit()
+        assert result.total_backups == 0
+
+    def test_backup_result_identical_to_primary(
+        self, tiny_graph, tiny_splits, detector_config
+    ):
+        """The backup recomputes the same shard: parameters after a
+        backup epoch equal the run where the worker was never slow."""
+        plan = FaultPlan(num_workers=4, worker_slow={1: {2: 5.0}})
+        t1, m1 = _trainer(tiny_graph, tiny_splits, detector_config, fault_plan=plan)
+        t2, m2 = _trainer(tiny_graph, tiny_splits, detector_config)
+        t1.fit()
+        t2.fit()
+        s1, s2 = m1.state_dict(), m2.state_dict()
+        assert all(np.array_equal(s1[k], s2[k]) for k in s1)
+
+    def test_deterministic_tie_break(self, tiny_graph, tiny_splits, detector_config):
+        """Equal finish times resolve to the lower worker id, every run."""
+        plan = FaultPlan(num_workers=4, worker_slow={1: {2: 5.0}, 2: {2: 5.0}})
+        r1 = _trainer(tiny_graph, tiny_splits, detector_config, fault_plan=plan)[0].fit()
+        r2 = _trainer(tiny_graph, tiny_splits, detector_config, fault_plan=plan)[0].fit()
+        e1 = [e.detail for rec in r1.history for e in rec.events if e.kind == "backup"]
+        e2 = [e.detail for rec in r2.history for e in rec.events if e.kind == "backup"]
+        assert e1 == e2 and e1
+
+    def test_single_worker_never_backs_up(self, tiny_graph, tiny_splits, detector_config):
+        plan = FaultPlan(num_workers=1, worker_slow={1: {0: 10.0}})
+        trainer, _ = _trainer(
+            tiny_graph, tiny_splits, detector_config, num_workers=1, fault_plan=plan
+        )
+        result = trainer.fit()
+        assert result.total_backups == 0
+
+
+# ----------------------------------------------------------------------
+# gradient integrity / quarantine
+# ----------------------------------------------------------------------
+class TestQuarantine:
+    def test_nan_gradient_quarantined(self, tiny_graph, tiny_splits, detector_config):
+        plan = FaultPlan(num_workers=4, grad_corrupt={1: [2]})
+        result = _trainer(tiny_graph, tiny_splits, detector_config, fault_plan=plan)[0].fit()
+        assert result.history[1].quarantined == [2]
+        details = [e.detail for e in result.history[1].events if e.kind == "quarantine"]
+        assert details == ["gradient quarantined (nan)"]
+
+    def test_bitflip_caught_by_checksum(self, tiny_graph, tiny_splits, detector_config):
+        plan = FaultPlan(num_workers=4, grad_corrupt={1: {2: "bitflip"}})
+        result = _trainer(tiny_graph, tiny_splits, detector_config, fault_plan=plan)[0].fit()
+        details = [e.detail for e in result.history[1].events if e.kind == "quarantine"]
+        assert details == ["gradient quarantined (checksum)"]
+
+    def test_quarantine_renormalises_and_still_steps(
+        self, tiny_graph, tiny_splits, detector_config
+    ):
+        plan = FaultPlan(num_workers=4, grad_corrupt={1: [2]})
+        trainer, model = _trainer(tiny_graph, tiny_splits, detector_config, fault_plan=plan)
+        result = trainer.fit()
+        assert len(result.history) == 3  # run completed despite corruption
+        assert all(np.isfinite(record.loss) for record in result.history)
+        assert all(np.isfinite(p.data).all() for p in model.parameters())
+
+    def test_budget_exhaustion_aborts(self, tiny_graph, tiny_splits, detector_config):
+        # every epoch corrupts two workers: budget of 3 dies in epoch 1
+        plan = FaultPlan(
+            num_workers=4, grad_corrupt={e: [1, 2] for e in range(3)}
+        )
+        trainer, _ = _trainer(
+            tiny_graph,
+            tiny_splits,
+            detector_config,
+            fault_plan=plan,
+            elastic=ElasticConfig(num_partitions=16, skip_budget=3),
+        )
+        with pytest.raises(SkipBudgetExhaustedError, match="budget is 3"):
+            trainer.fit()
+
+    def test_zero_budget_aborts_on_first_corruption(
+        self, tiny_graph, tiny_splits, detector_config
+    ):
+        plan = FaultPlan(num_workers=4, grad_corrupt={0: [1]})
+        trainer, _ = _trainer(
+            tiny_graph,
+            tiny_splits,
+            detector_config,
+            fault_plan=plan,
+            elastic=ElasticConfig(num_partitions=16, skip_budget=0),
+        )
+        with pytest.raises(SkipBudgetExhaustedError):
+            trainer.fit()
+
+    def test_all_shards_quarantined_rolls_back_and_retries(
+        self, tiny_graph, tiny_splits, detector_config
+    ):
+        """Corrupting every worker exhausts the budget via rollback
+        retries rather than training on nothing."""
+        plan = FaultPlan(num_workers=2, grad_corrupt={1: [0, 1]})
+        trainer, _ = _trainer(
+            tiny_graph,
+            tiny_splits,
+            detector_config,
+            num_workers=2,
+            fault_plan=plan,
+            elastic=ElasticConfig(num_partitions=16, skip_budget=100),
+        )
+        with pytest.raises(ElasticTrainingError, match="no usable gradients"):
+            trainer.fit()
+
+
+# ----------------------------------------------------------------------
+# checkpoint / resume
+# ----------------------------------------------------------------------
+class TestResume:
+    def test_resume_requires_manager(self, tiny_graph, tiny_splits, detector_config):
+        trainer, _ = _trainer(tiny_graph, tiny_splits, detector_config)
+        with pytest.raises(ElasticTrainingError, match="checkpoint manager"):
+            trainer.fit(resume=True)
+
+    def test_kill_and_resume_is_bitwise_identical(
+        self, tiny_graph, tiny_splits, detector_config, tmp_path
+    ):
+        """Stop right after the eviction epoch (mid-rebalance) and
+        resume in a fresh process-equivalent: parameters, membership,
+        detector state, and final metrics match the uninterrupted run."""
+        _, test = tiny_splits
+        plan = lambda: FaultPlan(
+            num_workers=4, worker_kill={1: [2]}, worker_rejoin={2: [2]}
+        )
+        straight, m1 = _trainer(
+            tiny_graph, tiny_splits, detector_config, fault_plan=plan()
+        )
+        r1 = straight.fit(tiny_graph, test)
+
+        half, _ = _trainer(
+            tiny_graph,
+            tiny_splits,
+            detector_config,
+            fault_plan=plan(),
+            checkpoint=str(tmp_path),
+        )
+        half.fit(tiny_graph, test, stop_after_epoch=1)
+        resumed, m2 = _trainer(
+            tiny_graph,
+            tiny_splits,
+            detector_config,
+            fault_plan=plan(),
+            checkpoint=str(tmp_path),
+        )
+        r2 = resumed.fit(tiny_graph, test, resume=True)
+
+        s1, s2 = m1.state_dict(), m2.state_dict()
+        assert all(np.array_equal(s1[k], s2[k]) for k in s1)
+        assert r1.metrics == r2.metrics
+        assert [e.members for e in r1.history] == [e.members for e in r2.history]
+        assert resumed.detector.state(2) == straight.detector.state(2)
+
+    def test_stop_after_epoch_truncates(self, tiny_graph, tiny_splits, detector_config, tmp_path):
+        trainer, _ = _trainer(
+            tiny_graph, tiny_splits, detector_config, checkpoint=str(tmp_path)
+        )
+        result = trainer.fit(stop_after_epoch=0)
+        assert len(result.history) == 1
+
+    def test_resume_restores_history(self, tiny_graph, tiny_splits, detector_config, tmp_path):
+        plan = FaultPlan(num_workers=4, worker_kill={0: [1]})
+        trainer, _ = _trainer(
+            tiny_graph, tiny_splits, detector_config, fault_plan=plan, checkpoint=str(tmp_path)
+        )
+        trainer.fit(stop_after_epoch=1)
+        resumed, _ = _trainer(
+            tiny_graph, tiny_splits, detector_config, fault_plan=plan, checkpoint=str(tmp_path)
+        )
+        result = resumed.fit(resume=True)
+        assert len(result.history) == 3
+        assert result.history[0].evicted == [1]  # restored, not re-run
+
+
+# ----------------------------------------------------------------------
+# observability wiring
+# ----------------------------------------------------------------------
+class TestObservability:
+    def test_counters_and_gauges(self, tiny_graph, tiny_splits, detector_config):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        plan = FaultPlan(
+            num_workers=4,
+            worker_kill={0: [3]},
+            worker_rejoin={1: [3]},
+            worker_slow={2: {1: 5.0}},
+            grad_corrupt={2: [0]},
+        )
+        trainer, _ = _trainer(
+            tiny_graph, tiny_splits, detector_config, fault_plan=plan, registry=registry
+        )
+        trainer.fit()
+        text = registry.render()
+        assert 'elastic_evictions_total{worker="3"} 1' in text
+        assert 'elastic_rejoins_total{worker="3"} 1' in text
+        assert 'elastic_quarantines_total{worker="0",reason="nan"} 1' in text
+        assert "elastic_rollbacks_total 1" in text
+        assert "elastic_members 4" in text
+        assert "elastic_worker_suspicion" in text
+
+    def test_supervision_spans(self, tiny_graph, tiny_splits, detector_config):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        plan = FaultPlan(num_workers=4, worker_kill={1: [2]})
+        trainer, _ = _trainer(
+            tiny_graph, tiny_splits, detector_config, fault_plan=plan, tracer=tracer
+        )
+        trainer.fit()
+        names = [span.name for span in tracer.spans()]
+        assert "supervise_epoch" in names
+        assert "evict" in names
+        assert "reshard" in names
+        assert "rollback" in names
+
+
+# ----------------------------------------------------------------------
+# the chaos gate end to end (CLI)
+# ----------------------------------------------------------------------
+class TestChaosGate:
+    ARGS = ["train", "--elastic", "--scale", "0.1", "--batch-size", "512"]
+
+    def test_plain_elastic_run(self, capsys):
+        from repro.cli import main
+
+        code = main(self.ARGS + ["--epochs", "2", "--workers", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "elastic training over 4 workers" in out
+        assert "auc=" in out
+
+    def test_chaos_gate_passes(self, capsys):
+        from repro.cli import main
+
+        code = main(self.ARGS + ["--epochs", "5", "--workers", "8", "--chaos"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos gate passed" in out
+        assert "evictions      : 2" in out
+        assert "rejoins        : 1" in out
+
+    def test_chaos_gate_rejects_wrong_fleet(self, capsys):
+        from repro.cli import main
+
+        assert main(self.ARGS + ["--epochs", "5", "--workers", "4", "--chaos"]) == 2
+
+    def test_cli_stop_and_resume(self, tmp_path, capsys):
+        from repro.cli import main
+
+        common = self.ARGS + [
+            "--epochs",
+            "3",
+            "--workers",
+            "4",
+            "--checkpoint-dir",
+            str(tmp_path),
+        ]
+        assert main(common + ["--stop-after-epoch", "0"]) == 0
+        assert main(common + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "elastic training over 4 workers" in out
