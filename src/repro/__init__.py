@@ -12,7 +12,9 @@ The package mirrors the paper's architecture:
 * :mod:`repro.train` — single-machine and simulated-distributed
   training plus every metric of the evaluation;
 * :mod:`repro.explain` — the modified GNNExplainer, centralities,
-  annotations, hit rate, and the learnable hybrid explainer.
+  annotations, hit rate, and the learnable hybrid explainer;
+* :mod:`repro.stream` — streaming ingestion: durable event log (WAL),
+  incremental graph maintenance, online scoring, drift detection.
 
 Quickstart::
 
@@ -38,6 +40,7 @@ from . import (
     rules,
     serving,
     storage,
+    stream,
     train,
 )
 from .data import (
@@ -46,9 +49,12 @@ from .data import (
     TransactionGenerator,
     TransactionLog,
     TransactionRecord,
+    TxnEvent,
     ebay_large_sim,
     ebay_small_sim,
     ebay_xlarge_sim,
+    export_events,
+    generate_events,
     generate_log,
     load_dataset,
 )
@@ -97,6 +103,13 @@ from .serving import (
     ServiceConfig,
     ServiceStats,
 )
+from .stream import (
+    DriftDetector,
+    EventLog,
+    IncrementalGraphBuilder,
+    StreamScorer,
+    run_stream_demo,
+)
 from .train import (
     DistributedTrainer,
     TrainConfig,
@@ -119,6 +132,7 @@ __all__ = [
     "explain",
     "reliability",
     "serving",
+    "stream",
     "obs",
     "MetricsRegistry",
     "Tracer",
@@ -144,7 +158,15 @@ __all__ = [
     "ebay_large_sim",
     "ebay_xlarge_sim",
     "generate_log",
+    "generate_events",
+    "export_events",
+    "TxnEvent",
     "load_dataset",
+    "EventLog",
+    "IncrementalGraphBuilder",
+    "StreamScorer",
+    "DriftDetector",
+    "run_stream_demo",
     "HeteroGraph",
     "GraphBuilder",
     "BuildConfig",

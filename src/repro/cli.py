@@ -19,6 +19,7 @@ take those instead of data files; model weights persist as ``.npz``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -274,6 +275,78 @@ def _parser() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="also print the Prometheus-text exposition (kv_replica_* gauges)",
+    )
+    healthcheck.add_argument(
+        "--stream-events",
+        type=int,
+        default=48,
+        metavar="N",
+        help="also replay N live events through the streaming scorer and "
+        "report stream lag / WAL segments / last-compaction version "
+        "(0 disables the stream section)",
+    )
+
+    stream = commands.add_parser(
+        "stream",
+        help="streaming ingestion: WAL + incremental graph + online scoring",
+    )
+    stream.add_argument(
+        "--demo",
+        action="store_true",
+        help="replay the deterministic event stream through the full "
+        "ingest->score->feedback loop (ManualClock), twice, and diff "
+        "the verdict streams byte-for-byte",
+    )
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--scale", type=float, default=0.25)
+    stream.add_argument("--epochs", type=int, default=2)
+    stream.add_argument(
+        "--events", type=int, default=None, metavar="N", help="cap the event stream"
+    )
+    stream.add_argument("--batch-size", type=int, default=16, metavar="N")
+    stream.add_argument(
+        "--compact-every",
+        type=int,
+        default=64,
+        metavar="N",
+        help="events between delta-CSR compactions",
+    )
+    stream.add_argument(
+        "--label-delay",
+        type=float,
+        default=4.0,
+        metavar="S",
+        help="chargeback lag on the simulated clock",
+    )
+    stream.add_argument(
+        "--runs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="replays to run and byte-diff (>= 1)",
+    )
+    stream.add_argument(
+        "--no-drift-burst",
+        action="store_true",
+        help="skip the deterministic feature shift on the stream tail",
+    )
+    stream.add_argument("--no-finetune", action="store_true")
+    stream.add_argument(
+        "--wal-dir",
+        default=None,
+        metavar="DIR",
+        help="persist event-log segments under DIR (default: temp dir)",
+    )
+    stream.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="checkpoint online fine-tunes under DIR",
+    )
+    stream.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the Prometheus-text exposition (stream_* series)",
     )
 
     bench_sampler = commands.add_parser(
@@ -804,10 +877,124 @@ def _cmd_healthcheck(args) -> int:
         print()
         print(registry.render(), end="")
     dead = [health.index for health in store.health if health.state == "dead"]
+
+    if args.stream_events > 0:
+        # Streaming-plane health alongside the replica table: a tiny
+        # untrained replay is enough to surface lag, WAL segmentation,
+        # and compaction bookkeeping.
+        from .stream import run_stream_demo
+
+        result = run_stream_demo(
+            seed=args.seed,
+            scale=0.1,
+            epochs=0,
+            max_events=max(8, args.stream_events * 2),
+            batch_size=8,
+            compact_every=16,
+            drift_burst=False,
+            finetune=False,
+        )
+        print()
+        print(result.health.describe())
+
     if dead:
         print(f"\nFAIL: replicas still dead at end of sweep: {dead}", file=sys.stderr)
         return 1
     print("\nok: all replicas serving")
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    """Deterministic replay-and-score gate behind ``repro stream --demo``.
+
+    Runs the scripted stream ``--runs`` times with identical seeds and
+    byte-diffs the verdict streams: any nondeterminism in WAL framing,
+    incremental graph maintenance, cache keying, sampling, or the
+    feedback plane shows up as a digest mismatch and a non-zero exit.
+    Also enforces the delta-vs-compacted subgraph gate each run.
+    """
+    from .obs import MetricsRegistry
+    from .stream import run_stream_demo
+
+    if not args.demo:
+        print("error: only --demo mode is implemented", file=sys.stderr)
+        return 2
+    if args.runs < 1:
+        print("error: --runs must be >= 1", file=sys.stderr)
+        return 2
+
+    results = []
+    registry = MetricsRegistry() if args.metrics else None
+    for run in range(args.runs):
+        wal_dir = (
+            os.path.join(args.wal_dir, f"run-{run}") if args.wal_dir is not None else None
+        )
+        checkpoint_dir = (
+            os.path.join(args.checkpoint_dir, f"run-{run}")
+            if args.checkpoint_dir is not None
+            else None
+        )
+        results.append(
+            run_stream_demo(
+                seed=args.seed,
+                scale=args.scale,
+                epochs=args.epochs,
+                max_events=args.events,
+                batch_size=args.batch_size,
+                compact_every=args.compact_every,
+                label_delay_s=args.label_delay,
+                drift_burst=not args.no_drift_burst,
+                finetune=not args.no_finetune,
+                wal_dir=wal_dir,
+                checkpoint_dir=checkpoint_dir,
+                registry=registry if run == 0 else None,
+            )
+        )
+
+    first = results[0]
+    print(
+        f"stream demo: {first.warmup_events} warmup + {first.streamed_events} "
+        f"streamed events (seed {args.seed}, scale {args.scale})"
+    )
+    print()
+    print(first.health.describe())
+    print()
+    auc = first.online_auc
+    print(f"prequential auc     : {'n/a' if auc != auc else f'{auc:.4f}'}")
+    print(f"drift alerts        : {len(first.drift_reports)}")
+    for report in first.drift_reports[:3]:
+        print(
+            f"  [{report.signal}] psi={report.psi:.3f} ks={report.ks:.3f} "
+            f"over {report.samples} samples"
+        )
+    print(f"verdict digest      : {first.verdict_digest:#010x}")
+    print(f"final graph version : {first.graph_version}")
+
+    failures = []
+    for run, result in enumerate(results[1:], start=1):
+        if result.verdict_lines != first.verdict_lines:
+            failures.append(f"run {run}: verdict stream diverged from run 0")
+        if result.graph_version != first.graph_version:
+            failures.append(
+                f"run {run}: final graph version {result.graph_version} "
+                f"!= {first.graph_version}"
+            )
+    for run, result in enumerate(results):
+        if not result.subgraph_gate_passed:
+            failures.append(f"run {run}: delta-vs-compacted subgraph gate failed")
+
+    if args.metrics:
+        print()
+        print(registry.render(), end="")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    if args.runs > 1:
+        print(f"\nok: {args.runs} replays byte-identical, subgraph gate passed")
+    else:
+        print("\nok: subgraph gate passed")
     return 0
 
 
@@ -868,6 +1055,7 @@ _COMMANDS = {
     "score": _cmd_score,
     "serve": _cmd_serve,
     "healthcheck": _cmd_healthcheck,
+    "stream": _cmd_stream,
     "bench-sampler": _cmd_bench_sampler,
 }
 

@@ -1,0 +1,164 @@
+"""Time-ordered transaction events — the streaming view of the log.
+
+A :class:`~repro.data.records.TransactionLog` is a batch artefact; the
+production system xFraud fronts (Sec. 1) sees the same rows as a
+*stream*: one :class:`TxnEvent` per transaction, in timestamp order,
+with the fraud label unknown at arrival (chargebacks land days later —
+the stream layer's :class:`~repro.stream.feedback.LabelFeed` models
+that lag). :func:`export_events` is the generator's event-stream export
+mode: the same seed produces the same log and therefore the same event
+sequence, which is what makes the ``repro stream --demo`` replay gate
+and the WAL round-trip tests deterministic.
+
+Events also define their own durable byte codec (:func:`encode_event` /
+:func:`decode_event`): a canonical JSON header (sorted keys) followed
+by the raw little-endian float64 feature block. The encoding is
+byte-stable across runs and platforms, so the stream WAL can frame and
+CRC these payloads and a replayed log diffs byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+import numpy as np
+
+from .records import TransactionLog, TransactionRecord
+
+_CODEC_VERSION = 1
+_HEADER_SEP = b"\x00"
+
+
+class EventCodecError(ValueError):
+    """An event payload does not decode to a known event shape."""
+
+
+@dataclass(frozen=True)
+class TxnEvent:
+    """One transaction arriving on the stream.
+
+    ``label`` carries the generator's ground truth so the feedback
+    plane can reveal it after the chargeback delay; a real deployment
+    would receive it in a separate chargeback feed. Scoring never reads
+    it — the graph stores ``-1`` until the label feed matures.
+    """
+
+    txn_id: int
+    buyer_id: Optional[int]
+    email_id: int
+    pmt_id: int
+    addr_id: int
+    timestamp: float
+    features: np.ndarray = field(compare=False)
+    label: int = -1
+    scenario: str = "benign"
+
+    def linked_entities(self) -> List[tuple]:
+        """(entity_kind, entity_id) pairs, mirroring TransactionRecord."""
+        links = [
+            ("pmt", self.pmt_id),
+            ("email", self.email_id),
+            ("addr", self.addr_id),
+        ]
+        if self.buyer_id is not None:
+            links.append(("buyer", self.buyer_id))
+        return links
+
+
+def encode_event(event: TxnEvent) -> bytes:
+    """Serialize deterministically: canonical JSON header + raw floats."""
+    features = np.ascontiguousarray(event.features, dtype="<f8")
+    header = {
+        "v": _CODEC_VERSION,
+        "kind": "txn",
+        "txn_id": int(event.txn_id),
+        "buyer_id": None if event.buyer_id is None else int(event.buyer_id),
+        "email_id": int(event.email_id),
+        "pmt_id": int(event.pmt_id),
+        "addr_id": int(event.addr_id),
+        "timestamp": float(event.timestamp),
+        "label": int(event.label),
+        "scenario": event.scenario,
+        "dim": int(features.shape[0]),
+    }
+    head = json.dumps(header, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return head + _HEADER_SEP + features.tobytes()
+
+
+def decode_event(payload: bytes) -> TxnEvent:
+    """Inverse of :func:`encode_event`; raises :class:`EventCodecError`."""
+    head, sep, body = payload.partition(_HEADER_SEP)
+    if not sep:
+        raise EventCodecError("event payload missing header separator")
+    try:
+        header = json.loads(head.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise EventCodecError(f"bad event header: {error}") from error
+    if header.get("v") != _CODEC_VERSION or header.get("kind") != "txn":
+        raise EventCodecError(f"unsupported event header: {header!r}")
+    dim = int(header["dim"])
+    if len(body) != dim * 8:
+        raise EventCodecError(
+            f"feature block is {len(body)} bytes, expected {dim * 8}"
+        )
+    features = np.frombuffer(body, dtype="<f8", count=dim).copy()
+    return TxnEvent(
+        txn_id=int(header["txn_id"]),
+        buyer_id=None if header["buyer_id"] is None else int(header["buyer_id"]),
+        email_id=int(header["email_id"]),
+        pmt_id=int(header["pmt_id"]),
+        addr_id=int(header["addr_id"]),
+        timestamp=float(header["timestamp"]),
+        features=features,
+        label=int(header["label"]),
+        scenario=str(header["scenario"]),
+    )
+
+
+def _event_of(record: TransactionRecord) -> TxnEvent:
+    return TxnEvent(
+        txn_id=record.txn_id,
+        buyer_id=record.buyer_id,
+        email_id=record.email_id,
+        pmt_id=record.pmt_id,
+        addr_id=record.addr_id,
+        timestamp=record.timestamp,
+        features=np.asarray(record.features, dtype=np.float64),
+        label=int(record.label),
+        scenario=record.scenario,
+    )
+
+
+def export_events(
+    log: TransactionLog, interleave_seed: Optional[int] = None
+) -> List[TxnEvent]:
+    """Export a transaction log as a time-ordered event stream.
+
+    The generator's clock is globally monotonic, so append order already
+    is time order for a freshly generated log; the explicit stable sort
+    on ``(timestamp, txn_id)`` makes the contract hold for *any* log
+    (e.g. after :meth:`~repro.data.generator.TransactionGenerator.
+    downsample_benign`, or logs assembled by tests) and pins a total
+    order so the same seed always yields the same event sequence.
+
+    The generator emits scenario by scenario (all benign buyers, then
+    the fraud campaigns), so its raw time axis has fraud clustered at
+    the end — unrealistic for a stream, where campaigns overlap organic
+    traffic. ``interleave_seed`` fixes that deterministically: events
+    are permuted by a seeded RNG and re-timed onto the same (sorted)
+    multiset of timestamps, preserving every transaction's features,
+    links, and label while mixing the scenarios along the clock.
+    """
+    events = [_event_of(record) for record in log]
+    events.sort(key=lambda event: (event.timestamp, event.txn_id))
+    if interleave_seed is None:
+        return events
+    rng = np.random.default_rng(interleave_seed)
+    order = rng.permutation(len(events))
+    times = [event.timestamp for event in events]  # already ascending
+    return [
+        replace(events[int(position)], timestamp=timestamp)
+        for position, timestamp in zip(order, times)
+    ]

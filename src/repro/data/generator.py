@@ -383,6 +383,26 @@ class TransactionGenerator:
                 kept.append(record)
         return kept
 
+    def event_stream(self, downsample: bool = True, interleave: bool = False):
+        """Event-stream export mode: the synthetic log as a time-ordered
+        list of :class:`~repro.data.events.TxnEvent`.
+
+        Same seed ⇒ same event sequence (generation, downsampling, and
+        the optional scenario interleave all draw from seeded RNGs, and
+        the export order is a total order on ``(timestamp, txn_id)``).
+        ``interleave=True`` mixes the scenario-clustered emission order
+        along the clock (see :func:`~repro.data.events.export_events`).
+        This feeds the ``repro stream --demo`` replay gate and tests.
+        """
+        from .events import export_events
+
+        log = self.generate()
+        if downsample:
+            log = self.downsample_benign(log)
+        return export_events(
+            log, interleave_seed=self.config.seed if interleave else None
+        )
+
 
 def generate_log(config: Optional[GeneratorConfig] = None, downsample: bool = True) -> TransactionLog:
     """Convenience wrapper: generate and optionally downsample a log."""
@@ -391,3 +411,8 @@ def generate_log(config: Optional[GeneratorConfig] = None, downsample: bool = Tr
     if downsample:
         log = generator.downsample_benign(log)
     return log
+
+
+def generate_events(config: Optional[GeneratorConfig] = None, downsample: bool = True):
+    """Convenience wrapper: generate a log and export it as events."""
+    return TransactionGenerator(config).event_stream(downsample=downsample)

@@ -170,12 +170,152 @@ class HeteroGraph:
         :class:`~repro.graph.cache.SubgraphCache`)."""
         return self._version
 
-    def mark_mutated(self) -> None:
-        """Declare an in-place structural edit: bumps :attr:`version`
-        (invalidating any keyed subgraph caches) and drops the CSR so
-        it is rebuilt from the edited edge arrays."""
+    def mark_mutated(self, structural: bool = True) -> None:
+        """Declare an in-place edit: bumps :attr:`version` (invalidating
+        any keyed subgraph caches) and — for *structural* edits — drops
+        the CSR so it is rebuilt from the edited edge arrays.
+
+        ``structural=False`` covers edits that change node payload but
+        not adjacency (the streaming label feed flipping ``labels``
+        entries when a chargeback lands): cached subgraphs still must
+        not be served (they snapshot labels), but the CSR stays valid.
+        """
         self._version += 1
+        if structural:
+            self._csr = None
+
+    def append_delta(
+        self,
+        node_type: Sequence[int],
+        labels: Sequence[int],
+        txn_features: np.ndarray,
+        edge_src: Sequence[int],
+        edge_dst: Sequence[int],
+        edge_type: Sequence[int],
+    ) -> None:
+        """Append new nodes/edges *in place*, merging the cached CSR.
+
+        The streaming ingestion path (:class:`repro.stream.builder.
+        IncrementalGraphBuilder`) flushes event deltas through this so
+        the exact object held by a live :class:`~repro.serving.service.
+        ScoringService` grows under the serving workload. Identity is
+        preserved (``id(graph)`` and therefore the
+        :class:`~repro.graph.cache.SubgraphCache` token stay stable) and
+        :attr:`version` is bumped exactly once per delta.
+
+        If a CSR is already built it is *merged* rather than dropped:
+        new in-edges are spliced into their destination buckets after
+        the existing entries — bit-identical to a full stable rebuild
+        (stable argsort keeps old edge ids, which precede the new ones,
+        in ascending order within each bucket), at O(E_old + E_new)
+        instead of O(E log E). New edges may reference both old and new
+        nodes; endpoints are validated against the grown node count.
+        """
+        new_nt = np.asarray(node_type, dtype=np.int64)
+        new_labels = np.asarray(labels, dtype=np.int64)
+        new_feat = np.asarray(txn_features, dtype=self.txn_features.dtype)
+        if new_feat.ndim != 2 or new_feat.shape != (len(new_nt), self.feature_dim):
+            raise ValueError("delta features must be (new_nodes, feature_dim)")
+        if new_labels.shape != (len(new_nt),):
+            raise ValueError("delta labels must be (new_nodes,)")
+        new_src = np.asarray(edge_src, dtype=np.int64)
+        new_dst = np.asarray(edge_dst, dtype=np.int64)
+        new_et = np.asarray(edge_type, dtype=np.int64)
+        if not (len(new_src) == len(new_dst) == len(new_et)):
+            raise ValueError("delta edge arrays must have equal length")
+        grown = self.num_nodes + len(new_nt)
+        if len(new_src) and (
+            new_src.min() < 0
+            or new_src.max() >= grown
+            or new_dst.min() < 0
+            or new_dst.max() >= grown
+        ):
+            raise ValueError("delta edge endpoints out of range")
+        if len(new_nt) and (new_nt.min() < 0 or new_nt.max() >= len(NODE_TYPES)):
+            raise ValueError("delta node types out of range")
+        if len(new_et) and (new_et.min() < 0 or new_et.max() >= len(EDGE_TYPES)):
+            raise ValueError("delta edge types out of range")
+        entity = new_nt != NODE_TYPE_IDS["txn"]
+        if np.any(new_labels[entity] != -1):
+            raise ValueError("only txn nodes may carry labels")
+
+        old_num_nodes = self.num_nodes
+        old_num_edges = self.num_edges
+        csr = self._csr
+        if len(new_nt):
+            self.node_type = np.concatenate([self.node_type, new_nt])
+            self.labels = np.concatenate([self.labels, new_labels])
+            self.txn_features = np.concatenate([self.txn_features, new_feat])
+            # Scratch map length is keyed to num_nodes; a stale shorter
+            # map would be discarded by _borrow_local_map anyway, but
+            # drop it eagerly so nothing holds the old size.
+            self._local_map_scratch = None
+        if len(new_src):
+            self.edge_src = np.concatenate([self.edge_src, new_src])
+            self.edge_dst = np.concatenate([self.edge_dst, new_dst])
+            self.edge_type = np.concatenate([self.edge_type, new_et])
+        if csr is not None:
+            self._csr = self._merge_csr(csr, old_num_nodes, old_num_edges, new_src, new_dst)
+        self._version += 1
+
+    def _merge_csr(
+        self,
+        csr: Tuple[np.ndarray, np.ndarray, np.ndarray],
+        old_num_nodes: int,
+        old_num_edges: int,
+        new_src: np.ndarray,
+        new_dst: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Splice delta edges into an existing in-edge CSR.
+
+        Per destination bucket the result is [old entries in their old
+        order, new entries stable-sorted by destination] — exactly what
+        ``np.argsort(edge_dst, kind="stable")`` over the concatenated
+        edge arrays produces, so callers may treat merged and rebuilt
+        CSRs interchangeably (asserted bit-for-bit by the stream tests).
+        """
+        indptr, src_sorted, eid_sorted = csr
+        n = self.num_nodes
+        old_counts = np.diff(indptr)
+        add_counts = np.bincount(new_dst, minlength=n) if len(new_dst) else np.zeros(n, dtype=np.int64)
+        counts = np.zeros(n, dtype=np.int64)
+        counts[:old_num_nodes] = old_counts
+        counts += add_counts
+        new_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=new_indptr[1:])
+        total = old_num_edges + len(new_src)
+        out_src = np.empty(total, dtype=np.int64)
+        out_eid = np.empty(total, dtype=np.int64)
+        if old_num_edges:
+            # Old entries keep their relative order; each shifts right by
+            # the number of new entries landing in lower buckets.
+            shift = new_indptr[:old_num_nodes] - indptr[:-1]
+            positions = np.arange(old_num_edges, dtype=np.int64) + np.repeat(shift, old_counts)
+            out_src[positions] = src_sorted
+            out_eid[positions] = eid_sorted
+        if len(new_dst):
+            order = np.argsort(new_dst, kind="stable")
+            dst_ordered = new_dst[order]
+            bucket_starts = np.cumsum(add_counts) - add_counts
+            rank = np.arange(len(dst_ordered), dtype=np.int64) - bucket_starts[dst_ordered]
+            old_count_of = np.zeros(n, dtype=np.int64)
+            old_count_of[:old_num_nodes] = old_counts
+            positions = new_indptr[dst_ordered] + old_count_of[dst_ordered] + rank
+            out_src[positions] = new_src[order]
+            out_eid[positions] = order + old_num_edges
+        return (new_indptr, out_src, out_eid)
+
+    def rebuild_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Drop any (possibly delta-merged) CSR and rebuild canonically.
+
+        Compaction calls this after a run of :meth:`append_delta` merges
+        to consolidate the adjacency into one freshly sorted layout; the
+        result is bit-identical to the merged CSR it replaces, so the
+        :attr:`version` is *not* bumped and warm subgraph caches stay
+        valid across a compaction.
+        """
         self._csr = None
+        return self.csr()
 
     def with_features(self, features: np.ndarray) -> "HeteroGraph":
         """Shallow clone sharing every structure array, with ``features``

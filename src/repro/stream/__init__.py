@@ -1,0 +1,54 @@
+"""repro.stream — streaming ingestion: durable event log, incremental
+hetero-graph maintenance, online scoring, and the feedback plane.
+
+Dataflow (DESIGN.md carries the full row):
+
+    event → WAL (EventLog) → IncrementalGraphBuilder (flush/compact)
+          → StreamScorer micro-batches → ScoringService
+          → LabelFeed / OnlineAUC / DriftDetector / OnlineFineTuner
+"""
+
+from .builder import IncrementalGraphBuilder
+from .demo import StreamDemoResult, run_stream_demo
+from .feedback import (
+    DriftConfig,
+    DriftDetector,
+    DriftReport,
+    FineTuneConfig,
+    FineTuneRecord,
+    LabelFeed,
+    OnlineAUC,
+    OnlineFineTuner,
+)
+from .scorer import StreamConfig, StreamHealth, StreamScorer
+from .wal import (
+    EventLog,
+    TornTail,
+    TornTailError,
+    WalCorruptionError,
+    WalError,
+    replay_wal,
+)
+
+__all__ = [
+    "EventLog",
+    "replay_wal",
+    "TornTail",
+    "TornTailError",
+    "WalCorruptionError",
+    "WalError",
+    "IncrementalGraphBuilder",
+    "StreamConfig",
+    "StreamHealth",
+    "StreamScorer",
+    "LabelFeed",
+    "OnlineAUC",
+    "DriftConfig",
+    "DriftDetector",
+    "DriftReport",
+    "FineTuneConfig",
+    "FineTuneRecord",
+    "OnlineFineTuner",
+    "StreamDemoResult",
+    "run_stream_demo",
+]

@@ -1,0 +1,344 @@
+"""Feedback plane for the streaming scorer: delayed labels, online
+evaluation, drift detection, and incremental fine-tuning.
+
+Chargebacks — the fraud ground truth — land days after a transaction
+scores (the paper trains on labels gathered long after the fact).
+:class:`LabelFeed` models that lag on the stream's event-time axis;
+matured labels drive three consumers:
+
+* :class:`OnlineAUC` — prequential (test-then-train) windowed ROC AUC:
+  each transaction is scored *before* its label is known, so the
+  running AUC over the last ``window`` matured pairs is an unbiased
+  online estimate of serving quality;
+* :class:`DriftDetector` — Population Stability Index + Kolmogorov-
+  Smirnov statistics of a sliding current window against a frozen
+  reference window, raised as alerts through the obs registry (the
+  standard PSI reading: < 0.1 stable, 0.1–0.25 drifting, > 0.25 act);
+* :class:`OnlineFineTuner` — a bounded mini-epoch of
+  :class:`~repro.train.trainer.Trainer` over the recent labelled
+  window, checkpointed through
+  :class:`~repro.reliability.checkpoint.CheckpointManager` so the
+  online model lineage is crash-recoverable like the batch one.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..reliability.checkpoint import CheckpointManager, TrainingState, collect_rng_states
+from ..train.metrics import roc_auc
+from ..train.trainer import TrainConfig, Trainer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graph.hetero import HeteroGraph
+    from ..obs.registry import MetricsRegistry
+
+
+# ----------------------------------------------------------------------
+# Delayed labels
+# ----------------------------------------------------------------------
+class LabelFeed:
+    """Event-time queue of labels maturing after a chargeback delay.
+
+    ``offer`` enqueues the ground-truth verdict at transaction time;
+    ``due`` releases every verdict whose ``event_time + delay_s`` has
+    passed, in a deterministic ``(available_at, offer order)`` order —
+    replaying the same event log therefore matures labels identically.
+    """
+
+    def __init__(self, delay_s: float) -> None:
+        if delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+        self.delay_s = delay_s
+        self._heap: List[Tuple[float, int, int, int]] = []
+        self._offered = 0
+
+    def offer(self, txn_id: int, label: int, event_time: float) -> None:
+        heapq.heappush(
+            self._heap, (event_time + self.delay_s, self._offered, txn_id, label)
+        )
+        self._offered += 1
+
+    def due(self, now: float) -> List[Tuple[int, int]]:
+        """Pop every ``(txn_id, label)`` matured by ``now``."""
+        matured: List[Tuple[int, int]] = []
+        while self._heap and self._heap[0][0] <= now:
+            _, _, txn_id, label = heapq.heappop(self._heap)
+            matured.append((txn_id, label))
+        return matured
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+
+# ----------------------------------------------------------------------
+# Prequential evaluation
+# ----------------------------------------------------------------------
+class OnlineAUC:
+    """Windowed prequential ROC AUC over matured (label, score) pairs."""
+
+    def __init__(self, window: int = 512) -> None:
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self.window = window
+        self._pairs: Deque[Tuple[int, float]] = deque(maxlen=window)
+        self.count = 0
+
+    def add(self, label: int, score: float) -> None:
+        self._pairs.append((int(label), float(score)))
+        self.count += 1
+
+    def auc(self) -> float:
+        """AUC of the current window; NaN until both classes appear."""
+        if not self._pairs:
+            return float("nan")
+        labels = [pair[0] for pair in self._pairs]
+        scores = [pair[1] for pair in self._pairs]
+        return float(roc_auc(labels, scores, default=float("nan")))
+
+
+# ----------------------------------------------------------------------
+# Drift detection
+# ----------------------------------------------------------------------
+@dataclass
+class DriftConfig:
+    """PSI/KS drift-detector knobs."""
+
+    window: int = 256
+    min_samples: int = 64
+    bins: int = 10
+    psi_alert: float = 0.25
+    ks_alert: float = 0.25
+    epsilon: float = 1e-4
+
+
+@dataclass
+class DriftReport:
+    """One drift check of a signal's current window vs its reference."""
+
+    signal: str
+    psi: float
+    ks: float
+    samples: int
+    alert: bool
+
+
+class DriftDetector:
+    """PSI + KS drift over one scalar signal (scores, a feature, ...).
+
+    The first ``window`` observations freeze as the *reference*
+    distribution and fix the PSI bin edges (reference quantiles);
+    subsequent observations fill a sliding *current* window.
+    :meth:`check` compares the two and raises an alert through the
+    registry when either statistic crosses its threshold.
+    """
+
+    def __init__(
+        self,
+        signal: str,
+        config: Optional[DriftConfig] = None,
+        registry: Optional["MetricsRegistry"] = None,
+    ) -> None:
+        self.signal = signal
+        self.config = config or DriftConfig()
+        self._reference: List[float] = []
+        self._edges: Optional[np.ndarray] = None
+        self._ref_fractions: Optional[np.ndarray] = None
+        self._ref_sorted: Optional[np.ndarray] = None
+        self._current: Deque[float] = deque(maxlen=self.config.window)
+        self.alerts: List[DriftReport] = []
+        self.observed = 0
+        if registry is not None:
+            labels = ("signal",)
+            self._psi_gauge = registry.gauge(
+                "stream_drift_psi", "Population Stability Index vs reference window.", labels
+            )
+            self._ks_gauge = registry.gauge(
+                "stream_drift_ks", "Kolmogorov-Smirnov statistic vs reference window.", labels
+            )
+            self._alert_counter = registry.counter(
+                "stream_drift_alerts_total", "Drift alerts raised.", labels
+            )
+        else:
+            self._psi_gauge = None
+            self._ks_gauge = None
+            self._alert_counter = None
+
+    @property
+    def reference_frozen(self) -> bool:
+        return self._edges is not None
+
+    def observe(self, value: float) -> None:
+        self.observed += 1
+        if not self.reference_frozen:
+            self._reference.append(float(value))
+            if len(self._reference) >= self.config.window:
+                self._freeze_reference()
+            return
+        self._current.append(float(value))
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    def _freeze_reference(self) -> None:
+        reference = np.asarray(self._reference, dtype=np.float64)
+        quantiles = np.linspace(0.0, 1.0, self.config.bins + 1)[1:-1]
+        inner = np.quantile(reference, quantiles)
+        self._edges = np.concatenate(([-np.inf], inner, [np.inf]))
+        counts = np.histogram(reference, bins=self._edges)[0].astype(np.float64)
+        self._ref_fractions = (counts + self.config.epsilon) / (
+            counts.sum() + self.config.epsilon * len(counts)
+        )
+        self._ref_sorted = np.sort(reference)
+
+    def check(self) -> Optional[DriftReport]:
+        """Compare current vs reference; record (and count) alerts.
+
+        Returns ``None`` while the reference is still accumulating or
+        the current window has fewer than ``min_samples`` points.
+        """
+        if not self.reference_frozen or len(self._current) < self.config.min_samples:
+            return None
+        current = np.asarray(self._current, dtype=np.float64)
+        counts = np.histogram(current, bins=self._edges)[0].astype(np.float64)
+        fractions = (counts + self.config.epsilon) / (
+            counts.sum() + self.config.epsilon * len(counts)
+        )
+        psi = float(
+            np.sum((fractions - self._ref_fractions) * np.log(fractions / self._ref_fractions))
+        )
+        ks = self._ks_statistic(current)
+        alert = psi > self.config.psi_alert or ks > self.config.ks_alert
+        report = DriftReport(
+            signal=self.signal, psi=psi, ks=ks, samples=len(current), alert=alert
+        )
+        if self._psi_gauge is not None:
+            self._psi_gauge.set(psi, signal=self.signal)
+            self._ks_gauge.set(ks, signal=self.signal)
+        if alert:
+            self.alerts.append(report)
+            if self._alert_counter is not None:
+                self._alert_counter.inc(signal=self.signal)
+        return report
+
+    def _ks_statistic(self, current: np.ndarray) -> float:
+        reference = self._ref_sorted
+        current = np.sort(current)
+        grid = np.concatenate([reference, current])
+        cdf_ref = np.searchsorted(reference, grid, side="right") / len(reference)
+        cdf_cur = np.searchsorted(current, grid, side="right") / len(current)
+        return float(np.max(np.abs(cdf_ref - cdf_cur)))
+
+
+# ----------------------------------------------------------------------
+# Incremental fine-tuning
+# ----------------------------------------------------------------------
+@dataclass
+class FineTuneConfig:
+    """Bounds on the online mini-epoch."""
+
+    min_labels: int = 64
+    max_nodes: int = 256
+    batch_size: int = 64
+    learning_rate: float = 1e-3
+    every_labels: int = 64
+    seed: int = 0
+
+
+@dataclass
+class FineTuneRecord:
+    """One completed online fine-tune step."""
+
+    update: int
+    nodes: int
+    loss: float
+    checkpoint: Optional[str] = None
+
+
+class OnlineFineTuner:
+    """Bounded mini-epochs over the recent labelled window.
+
+    Keeps one long-lived :class:`Trainer` (optimizer moments persist
+    across updates, like a production online learner) and checkpoints
+    every update through ``checkpoint`` so a crashed scorer resumes
+    from the last fine-tuned weights rather than the batch snapshot.
+    """
+
+    def __init__(
+        self,
+        model,
+        config: Optional[FineTuneConfig] = None,
+        checkpoint: Optional[CheckpointManager] = None,
+        registry: Optional["MetricsRegistry"] = None,
+    ) -> None:
+        self.model = model
+        self.config = config or FineTuneConfig()
+        self.checkpoint = checkpoint
+        self.trainer = Trainer(
+            model,
+            TrainConfig(
+                epochs=1,
+                batch_size=self.config.batch_size,
+                learning_rate=self.config.learning_rate,
+                seed=self.config.seed,
+            ),
+        )
+        self.updates: List[FineTuneRecord] = []
+        self._labels_since_update = 0
+        if registry is not None:
+            self._update_counter = registry.counter(
+                "stream_finetune_updates_total", "Online fine-tune mini-epochs run."
+            )
+            self._loss_gauge = registry.gauge(
+                "stream_finetune_loss", "Mean loss of the last online mini-epoch."
+            )
+        else:
+            self._update_counter = None
+            self._loss_gauge = None
+
+    def notify_labels(self, count: int) -> None:
+        self._labels_since_update += count
+
+    def maybe_update(
+        self, graph: "HeteroGraph", recent_labelled: Sequence[int]
+    ) -> Optional[FineTuneRecord]:
+        """Run one bounded mini-epoch if enough fresh labels accrued.
+
+        ``recent_labelled`` is the labelled window in arrival order;
+        only the newest ``max_nodes`` of it are trained on, keeping the
+        step O(max_nodes) regardless of stream length.
+        """
+        if self._labels_since_update < self.config.every_labels:
+            return None
+        nodes = np.asarray(recent_labelled, dtype=np.int64)
+        nodes = nodes[graph.labels[nodes] >= 0]
+        if len(nodes) < self.config.min_labels:
+            return None
+        nodes = nodes[-self.config.max_nodes :]
+        loss = self.trainer.train_epoch(graph, nodes)
+        self.model.eval()
+        self._labels_since_update = 0
+        record = FineTuneRecord(update=len(self.updates), nodes=len(nodes), loss=loss)
+        if self.checkpoint is not None:
+            state = TrainingState(
+                epoch=record.update,
+                model_state=self.model.state_dict(),
+                optimizer_state=self.trainer.optimizer.state_dict(),
+                rng_states={
+                    "trainer": self.trainer._rng.bit_generator.state,
+                    "model": collect_rng_states(self.model),
+                },
+            )
+            record.checkpoint = self.checkpoint.save(state)
+        self.updates.append(record)
+        if self._update_counter is not None:
+            self._update_counter.inc()
+            self._loss_gauge.set(loss)
+        return record

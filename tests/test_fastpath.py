@@ -223,6 +223,103 @@ class TestSubgraphCache:
         assert 'subgraph_cache_misses_total{cache="subgraph"} 2' in text
         assert 'subgraph_cache_evictions_total{cache="subgraph"} 1' in text
 
+    def test_repeated_mutation_churn_never_serves_stale(self):
+        # Streaming-style churn: mutate, look up, look up again, repeat.
+        # Every post-mutation lookup must re-sample (a hit here would be
+        # a stale subgraph), and the repeat lookup within a version must
+        # hit and match a fresh sample bit-for-bit.
+        graph = _sparse_graph()
+        sampler = SageSampler(hops=2, fanout=3, seed=0)
+        cache = SubgraphCache(capacity=8)
+        targets = graph.txn_nodes[:2].tolist()
+        rounds = 10
+        for round_index in range(rounds):
+            fresh = sampler.sample(graph, targets)
+            served = cache.get_or_sample(graph, sampler, targets)
+            assert cache.get_or_sample(graph, sampler, targets) is served
+            np.testing.assert_array_equal(served.original_ids, fresh.original_ids)
+            np.testing.assert_array_equal(
+                served.graph.edge_src, fresh.graph.edge_src
+            )
+            np.testing.assert_array_equal(served.graph.labels, fresh.graph.labels)
+            # Alternate structural and label-only churn.
+            graph.mark_mutated(structural=round_index % 2 == 0)
+        assert (cache.misses, cache.hits) == (rounds, rounds)
+        # Every cached entry predates the last mutation: all stale.
+        cache.invalidate(graph)
+        assert len(cache) == 0
+
+    def test_concurrent_lookups_under_mutation_churn(self):
+        # A writer bumps the graph version while readers hammer the
+        # cache. The writer stamps the target's label with its step
+        # number *before* each bump, so any served subgraph reveals the
+        # version its content came from: a reader that observed version
+        # v must never be handed content older than v.
+        import threading
+
+        graph = _sparse_graph()
+        sampler = SageSampler(hops=1, fanout=3, seed=0)
+        cache = SubgraphCache(capacity=64)
+        target = int(graph.txn_nodes[0])
+        base = graph.version
+        steps = 300
+        stale: list = []
+        failures: list = []
+
+        def writer():
+            for step in range(1, steps + 1):
+                graph.labels[target] = step
+                graph.mark_mutated(structural=False)
+
+        def reader():
+            try:
+                for _ in range(steps):
+                    observed = graph.version
+                    result = cache.get_or_sample(graph, sampler, [target])
+                    step = int(result.graph.labels[result.target_local[0]])
+                    if step < observed - base:
+                        stale.append((observed - base, step))
+            except Exception as error:  # pragma: no cover - failure path
+                failures.append(error)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        assert not stale
+        # Once the churn stops the cache settles: stale entries prune
+        # away and the current version serves hits again.
+        cache.invalidate(graph)
+        settled = cache.get_or_sample(graph, sampler, [target])
+        hits_before = cache.hits
+        assert cache.get_or_sample(graph, sampler, [target]) is settled
+        assert cache.hits == hits_before + 1
+        assert int(settled.graph.labels[settled.target_local[0]]) == steps
+
+    def test_weakref_purge_after_graph_replacement(self):
+        # Replacing the graph object (rebuild-from-log, failover) must
+        # not leak the dead graph's entries: a finalizer purges them
+        # once the graph is collected.
+        import gc
+
+        sampler = SageSampler(hops=2, fanout=3, seed=0)
+        cache = SubgraphCache(capacity=8)
+        graph = _sparse_graph()
+        cache.get_or_sample(graph, sampler, graph.txn_nodes[:2].tolist())
+        cache.get_or_sample(graph, sampler, graph.txn_nodes[2:4].tolist())
+        replacement = _sparse_graph()
+        kept_targets = replacement.txn_nodes[:2].tolist()
+        kept = cache.get_or_sample(replacement, sampler, kept_targets)
+        assert len(cache) == 3
+        del graph
+        gc.collect()
+        # Only the replacement's entry survives, and it still serves.
+        assert len(cache) == 1
+        assert cache.get_or_sample(replacement, sampler, kept_targets) is kept
+
 
 class TestBatchParity:
     @staticmethod

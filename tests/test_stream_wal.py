@@ -1,0 +1,267 @@
+"""Event codec + durable event log (WAL): framing, rotation, recovery.
+
+The torn-tail tests pin the subsystem's central durability claim: a
+crash mid-append loses at most the half-written record — replay yields
+every checksummed prefix record and raises a *typed* error at the tear
+(never garbage events), and reopening the log truncates the tear and
+resumes appending at the last durable record.
+"""
+
+import json
+import os
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.data import GeneratorConfig, TransactionGenerator, export_events, generate_log
+from repro.data.events import TxnEvent, decode_event, encode_event
+from repro.stream import EventLog, TornTailError, WalCorruptionError, replay_wal
+
+
+def _events(n=12, seed=0, dim=6):
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        out.append(
+            TxnEvent(
+                txn_id=i,
+                buyer_id=None if i % 5 == 0 else 1000 + i % 3,
+                email_id=2000 + i % 4,
+                pmt_id=3000 + i % 3,
+                addr_id=4000 + i % 2,
+                timestamp=float(i),
+                features=rng.normal(size=dim),
+                label=int(i % 7 == 0),
+                scenario="benign" if i % 7 else "stolen_card",
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Codec
+# ----------------------------------------------------------------------
+class TestEventCodec:
+    def test_round_trip(self):
+        for event in _events():
+            back = decode_event(encode_event(event))
+            assert back.txn_id == event.txn_id
+            assert back.buyer_id == event.buyer_id
+            assert back.email_id == event.email_id
+            assert back.pmt_id == event.pmt_id
+            assert back.addr_id == event.addr_id
+            assert back.timestamp == event.timestamp
+            assert back.label == event.label
+            assert back.scenario == event.scenario
+            np.testing.assert_array_equal(back.features, event.features)
+
+    def test_guest_checkout_has_no_buyer_link(self):
+        event = _events()[0]
+        assert event.buyer_id is None
+        kinds = [kind for kind, _ in event.linked_entities()]
+        assert kinds == ["pmt", "email", "addr"]
+
+    def test_encoding_is_byte_stable(self):
+        for event in _events():
+            assert encode_event(event) == encode_event(event)
+
+    def test_garbage_rejected(self):
+        from repro.data.events import EventCodecError
+
+        with pytest.raises(EventCodecError):
+            decode_event(b"not an event at all")
+        # Valid header, truncated feature block.
+        blob = encode_event(_events()[1])
+        with pytest.raises(EventCodecError):
+            decode_event(blob[:-4])
+
+
+# ----------------------------------------------------------------------
+# Generator export mode
+# ----------------------------------------------------------------------
+class TestEventExport:
+    def _generator(self, seed=0):
+        return TransactionGenerator(
+            GeneratorConfig(
+                num_benign_buyers=40,
+                num_stolen_cards=3,
+                num_warehouse_rings=2,
+                num_cultivated_accounts=2,
+                num_guest_checkouts=5,
+                num_apartment_buildings=2,
+                feature_dim=8,
+                seed=seed,
+            )
+        )
+
+    def test_same_seed_same_sequence(self):
+        first = self._generator().event_stream()
+        second = self._generator().event_stream()
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            assert encode_event(a) == encode_event(b)
+
+    def test_time_ordered(self):
+        events = self._generator().event_stream()
+        times = [event.timestamp for event in events]
+        assert times == sorted(times)
+
+    def test_interleave_is_deterministic_and_time_ordered(self):
+        first = self._generator().event_stream(interleave=True)
+        second = self._generator().event_stream(interleave=True)
+        for a, b in zip(first, second):
+            assert encode_event(a) == encode_event(b)
+        times = [event.timestamp for event in first]
+        assert times == sorted(times)
+        # Same transactions, same multiset of timestamps, mixed order.
+        plain = self._generator().event_stream()
+        assert sorted(e.txn_id for e in first) == sorted(e.txn_id for e in plain)
+        assert [e.timestamp for e in first] == [e.timestamp for e in plain]
+        assert [e.txn_id for e in first] != [e.txn_id for e in plain]
+
+    def test_export_matches_log(self):
+        log = generate_log(
+            GeneratorConfig(num_benign_buyers=30, feature_dim=8, seed=1)
+        )
+        events = export_events(log)
+        by_id = {record.txn_id: record for record in log}
+        assert len(events) == len(log)
+        for event in events:
+            record = by_id[event.txn_id]
+            assert event.label == record.label
+            np.testing.assert_array_equal(event.features, record.features)
+
+
+# ----------------------------------------------------------------------
+# WAL
+# ----------------------------------------------------------------------
+class TestEventLog:
+    def test_append_replay_round_trip(self, tmp_path):
+        events = _events(10)
+        with EventLog(str(tmp_path), fsync=False) as log:
+            seqs = log.append_many(events)
+        assert seqs == list(range(10))
+        replayed = list(replay_wal(str(tmp_path)))
+        assert [seq for seq, _ in replayed] == list(range(10))
+        for (_, back), event in zip(replayed, events):
+            assert encode_event(back) == encode_event(event)
+
+    def test_rotation_seals_segments_in_manifest(self, tmp_path):
+        events = _events(20)
+        log = EventLog(str(tmp_path), segment_max_bytes=256, fsync=False)
+        log.append_many(events)
+        log.close()
+        assert log.segment_count() > 1
+        manifest = json.loads((tmp_path / "MANIFEST.json").read_text())
+        assert manifest["format"] == "repro-wal-manifest-v1"
+        total = sum(entry["records"] for entry in manifest["segments"])
+        assert total + log.segments()[-1]["records"] == 20
+        for entry in manifest["segments"]:
+            blob = (tmp_path / entry["file"]).read_bytes()
+            assert len(blob) == entry["size"]
+            assert zlib.crc32(blob) == entry["crc32"]
+        # Replay crosses every sealed segment plus the active one.
+        assert len(list(replay_wal(str(tmp_path)))) == 20
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        events = _events(8)
+        with EventLog(str(tmp_path), fsync=False) as log:
+            log.append_many(events[:5])
+        reopened = EventLog(str(tmp_path), fsync=False)
+        assert reopened.recovered_tail is None
+        assert reopened.record_count == 5
+        assert reopened.append(events[5]) == 5
+        reopened.close()
+        assert len(list(replay_wal(str(tmp_path)))) == 6
+
+    def _torn_log(self, tmp_path, cut=7):
+        """A closed log whose active segment is truncated mid-record."""
+        events = _events(6)
+        with EventLog(str(tmp_path), fsync=False) as log:
+            log.append_many(events)
+            name = log.segments()[-1]["file"]
+        path = os.path.join(str(tmp_path), name)
+        blob = open(path, "rb").read()
+        # Cut inside the last record's payload.
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) - cut])
+        return events
+
+    def test_torn_tail_replay_stops_with_typed_error(self, tmp_path):
+        events = self._torn_log(tmp_path)
+        replayed = []
+        with pytest.raises(TornTailError) as excinfo:
+            for seq, event in replay_wal(str(tmp_path)):
+                replayed.append((seq, event))
+        # The valid prefix — and only the valid prefix — came out.
+        assert len(replayed) == 5
+        for (_, back), event in zip(replayed, events[:5]):
+            assert encode_event(back) == encode_event(event)
+        tail = excinfo.value.tail
+        assert tail.valid_records == 5
+        assert tail.reason == "truncated record body"
+
+    def test_torn_tail_header_cut(self, tmp_path):
+        # Cut inside the 8-byte frame header instead of the payload.
+        events = _events(6)
+        with EventLog(str(tmp_path), fsync=False) as log:
+            log.append_many(events)
+            name = log.segments()[-1]["file"]
+            last_size = log.segments()[-1]["size"]
+        path = os.path.join(str(tmp_path), name)
+        frame = len(encode_event(events[-1])) + 8
+        with open(path, "r+b") as handle:
+            handle.truncate(last_size - frame + 3)  # 3 header bytes remain
+        with pytest.raises(TornTailError) as excinfo:
+            list(replay_wal(str(tmp_path)))
+        assert excinfo.value.tail.reason == "truncated frame header"
+
+    def test_reopen_truncates_torn_tail_and_resumes(self, tmp_path):
+        events = self._torn_log(tmp_path)
+        log = EventLog(str(tmp_path), fsync=False)
+        assert log.recovered_tail is not None
+        assert log.recovered_tail.valid_records == 5
+        assert log.record_count == 5
+        # The tear is gone: appends resume and a full replay is clean.
+        log.append(events[5])
+        log.close()
+        replayed = list(replay_wal(str(tmp_path)))
+        assert len(replayed) == 6
+        assert encode_event(replayed[-1][1]) == encode_event(events[5])
+
+    def test_corrupt_record_checksum_is_detected(self, tmp_path):
+        events = _events(6)
+        with EventLog(str(tmp_path), fsync=False) as log:
+            log.append_many(events)
+            name = log.segments()[-1]["file"]
+        path = os.path.join(str(tmp_path), name)
+        blob = bytearray(open(path, "rb").read())
+        # Flip a byte inside the second record's payload (past its
+        # 8-byte frame header) so the record CRC — not the framing —
+        # is what catches it.
+        offset = (8 + len(encode_event(events[0]))) + 8 + 5
+        blob[offset] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(TornTailError) as excinfo:
+            list(replay_wal(str(tmp_path)))
+        assert excinfo.value.tail.reason == "record checksum mismatch"
+
+    def test_sealed_segment_corruption_is_not_recoverable(self, tmp_path):
+        log = EventLog(str(tmp_path), segment_max_bytes=256, fsync=False)
+        log.append_many(_events(20))
+        log.close()
+        sealed = json.loads((tmp_path / "MANIFEST.json").read_text())["segments"][0]
+        path = tmp_path / sealed["file"]
+        blob = bytearray(path.read_bytes())
+        blob[10] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(WalCorruptionError):
+            list(replay_wal(str(tmp_path)))
+
+    def test_replay_on_open_log(self, tmp_path):
+        log = EventLog(str(tmp_path), fsync=False)
+        events = _events(4)
+        log.append_many(events)
+        assert len(list(log.replay())) == 4
+        log.close()
