@@ -1,0 +1,605 @@
+"""Invariant registry: executable statements of what must always hold.
+
+Each checker is a small deterministic experiment over one layer of the
+stack — it builds its own seeded fixture, drives the real production
+code paths, and returns a list of violation strings (empty = the
+invariant held). The registry is what ``repro check`` runs and what CI
+gates on; the same low-level audit helpers (:func:`csr_violations`,
+:func:`wal_violations`, :func:`ledger_violations`) are reused by the
+differential fuzzer in :mod:`repro.check.fuzz` so a fuzz case and an
+audit disagree about nothing.
+
+Checkers must be *self-falsifying* where practical: after asserting the
+invariant holds on a healthy fixture, they corrupt the fixture and
+assert the detection machinery actually fires. A checker that cannot
+catch the fault it exists for is itself a violation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..graph.hetero import HeteroGraph
+from .gen import random_delta, random_events, random_hetero_graph
+
+__all__ = [
+    "CheckResult",
+    "InvariantCheck",
+    "REGISTRY",
+    "csr_violations",
+    "wal_violations",
+    "ledger_violations",
+    "subgraph_equal",
+    "run_audits",
+]
+
+
+@dataclass
+class InvariantCheck:
+    """One registered checker: what layer it guards and what it falsifies."""
+
+    name: str
+    layer: str
+    falsifies: str
+    fn: Callable[[], List[str]]
+
+
+@dataclass
+class CheckResult:
+    name: str
+    layer: str
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+
+REGISTRY: Dict[str, InvariantCheck] = {}
+
+
+def invariant(name: str, layer: str, falsifies: str):
+    """Register a checker function under ``name``."""
+
+    def decorate(fn: Callable[[], List[str]]) -> Callable[[], List[str]]:
+        if name in REGISTRY:
+            raise ValueError(f"duplicate invariant checker {name!r}")
+        REGISTRY[name] = InvariantCheck(name=name, layer=layer, falsifies=falsifies, fn=fn)
+        return fn
+
+    return decorate
+
+
+def run_audits(names: Optional[List[str]] = None) -> List[CheckResult]:
+    """Run every registered checker (or the named subset), in order."""
+    selected = list(REGISTRY) if names is None else list(names)
+    results = []
+    for name in selected:
+        if name not in REGISTRY:
+            raise KeyError(f"unknown invariant checker {name!r}")
+        check = REGISTRY[name]
+        results.append(
+            CheckResult(name=check.name, layer=check.layer, violations=check.fn())
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Reusable audit helpers (shared with the fuzzer)
+# ----------------------------------------------------------------------
+def csr_violations(graph: HeteroGraph) -> List[str]:
+    """Falsify the in-edge CSR against the flat edge arrays.
+
+    The CSR contract (``HeteroGraph.csr``): ``indptr`` is a monotone
+    prefix-sum over in-degrees; position ``i`` holds edge
+    ``eid[i]`` with ``edge_dst[eid[i]]`` equal to the bucket node and
+    ``edge_src[eid[i]] == src[i]``; ``eid`` is a permutation of the
+    edge ids that is *stable* (ascending within each bucket), which is
+    the canonical form ``_merge_csr`` must preserve.
+    """
+    problems: List[str] = []
+    indptr, src, eid = graph.csr()
+    num_nodes, num_edges = graph.num_nodes, graph.num_edges
+    if indptr.shape != (num_nodes + 1,):
+        return [f"indptr shape {indptr.shape} != ({num_nodes + 1},)"]
+    if num_nodes >= 0 and (indptr[0] != 0 or indptr[-1] != num_edges):
+        problems.append(
+            f"indptr endpoints ({indptr[0]}, {indptr[-1]}) != (0, {num_edges})"
+        )
+    if np.any(np.diff(indptr) < 0):
+        # Per-bucket checks below repeat by np.diff(indptr); negative
+        # spans would crash them, so report and stop here.
+        problems.append("indptr not monotone non-decreasing")
+        return problems
+    if len(src) != num_edges or len(eid) != num_edges:
+        return problems + [
+            f"csr arrays have {len(src)}/{len(eid)} entries for {num_edges} edges"
+        ]
+    if num_edges == 0:
+        return problems
+    if eid.min() < 0 or eid.max() >= num_edges or len(np.unique(eid)) != num_edges:
+        problems.append("edge-id column is not a permutation of the edge ids")
+        return problems
+    bucket_of = np.repeat(np.arange(num_nodes), np.diff(indptr))
+    if np.any(graph.edge_dst[eid] != bucket_of):
+        problems.append("edge landed in the wrong destination bucket")
+    if np.any(graph.edge_src[eid] != src):
+        problems.append("source column disagrees with edge_src[eid]")
+    same_bucket = np.diff(bucket_of) == 0
+    if np.any(np.diff(eid)[same_bucket] <= 0):
+        problems.append("edge ids not ascending within a bucket (stability lost)")
+    return problems
+
+
+def subgraph_equal(a, b) -> Optional[str]:
+    """Bit-identity of two :class:`SampledSubgraph`; None when equal."""
+    pairs = [
+        ("original_ids", a.original_ids, b.original_ids),
+        ("target_local", a.target_local, b.target_local),
+        ("node_type", a.graph.node_type, b.graph.node_type),
+        ("edge_src", a.graph.edge_src, b.graph.edge_src),
+        ("edge_dst", a.graph.edge_dst, b.graph.edge_dst),
+        ("edge_type", a.graph.edge_type, b.graph.edge_type),
+        ("txn_features", a.graph.txn_features, b.graph.txn_features),
+        ("labels", a.graph.labels, b.graph.labels),
+    ]
+    for name, left, right in pairs:
+        if left.shape != right.shape:
+            return f"{name} shape {left.shape} != {right.shape}"
+        if not np.array_equal(left, right):
+            return f"{name} differs"
+    return None
+
+
+def wal_violations(directory: str) -> List[str]:
+    """Falsify WAL manifest/segment agreement on disk.
+
+    Every sealed manifest entry must name an existing file whose size
+    and whole-file CRC32 match, whose frames scan cleanly to exactly
+    ``records`` payloads, and whose ``[first_seq, last_seq]`` ranges
+    tile the sequence space contiguously from 0.
+    """
+    from ..stream.wal import _scan_frames
+
+    problems: List[str] = []
+    manifest_path = os.path.join(directory, "MANIFEST.json")
+    if not os.path.exists(manifest_path):
+        # Written at the first seal; a log that never rotated has none.
+        return []
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    next_seq = 0
+    for entry in manifest.get("segments", []):
+        name = entry["file"]
+        path = os.path.join(directory, name)
+        if not os.path.exists(path):
+            problems.append(f"{name}: sealed but missing on disk")
+            continue
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        if len(blob) != entry["size"]:
+            problems.append(f"{name}: size {len(blob)} != sealed {entry['size']}")
+        if zlib.crc32(blob) != entry["crc32"]:
+            problems.append(f"{name}: crc32 mismatch against manifest")
+        payloads, _, tear = _scan_frames(blob)
+        if tear is not None:
+            problems.append(f"{name}: sealed segment tears ({tear})")
+        if len(payloads) != entry["records"]:
+            problems.append(
+                f"{name}: {len(payloads)} frames != sealed records {entry['records']}"
+            )
+        if entry["first_seq"] != next_seq:
+            problems.append(
+                f"{name}: first_seq {entry['first_seq']} != expected {next_seq}"
+            )
+        if entry["last_seq"] - entry["first_seq"] + 1 != entry["records"]:
+            problems.append(f"{name}: seq span disagrees with record count")
+        next_seq = entry["last_seq"] + 1
+    return problems
+
+
+def ledger_violations(store) -> List[str]:
+    """Falsify the replicated store's CRC ledger against replica bytes.
+
+    For every ledger entry, each owner replica that holds the key must
+    hold bytes whose CRC32 matches the ledger. A missing copy is legal
+    (a put succeeds on one owner; anti-entropy heals the rest) — only
+    *divergent bytes* violate the invariant.
+    """
+    problems: List[str] = []
+    for key, expected in sorted(store._crc.items()):
+        for owner in store.owners(key):
+            replica = store.replicas[owner]
+            try:
+                value = replica.get(key)
+            except KeyError:
+                continue
+            except Exception as error:  # dead replica: routing's problem
+                problems.append(f"{key}@replica{owner}: read failed ({error})")
+                continue
+            actual = zlib.crc32(value)
+            if actual != expected:
+                problems.append(
+                    f"{key}@replica{owner}: crc {actual} != ledger {expected}"
+                )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Registered checkers
+# ----------------------------------------------------------------------
+@invariant(
+    "graph-csr-validity",
+    layer="graph",
+    falsifies="CSR indptr/indices/edge-id agreement with the flat edge "
+    "arrays, and version bumps: +1 per append_delta, 0 per compact",
+)
+def _check_csr_validity() -> List[str]:
+    problems: List[str] = []
+    for seed in (0, 1, 2):
+        rng = np.random.default_rng(seed)
+        graph = random_hetero_graph(rng, num_txns=4 + seed * 3)
+        graph.csr()
+        problems += [f"seed {seed}: {p}" for p in csr_violations(graph)]
+        before = graph.version
+        graph.append_delta(**random_delta(rng, graph, num_new_txns=2 + seed))
+        if graph.version != before + 1:
+            problems.append(
+                f"seed {seed}: append_delta bumped version "
+                f"{before}->{graph.version}, expected +1"
+            )
+        problems += [f"seed {seed} post-delta: {p}" for p in csr_violations(graph)]
+        at_delta = graph.version
+        graph.rebuild_csr()
+        if graph.version != at_delta:
+            problems.append(f"seed {seed}: rebuild_csr changed the version")
+        problems += [f"seed {seed} post-rebuild: {p}" for p in csr_violations(graph)]
+    # Self-test: a corrupted CSR must be caught.
+    rng = np.random.default_rng(99)
+    graph = random_hetero_graph(rng, num_txns=5)
+    indptr, src, eid = graph.csr()
+    if graph.num_edges >= 2:
+        src[0] = (src[0] + 1) % graph.num_nodes
+        if not csr_violations(graph):
+            problems.append("self-test: csr_violations missed a corrupted source column")
+        graph._csr = None  # drop the poisoned cache
+    return problems
+
+
+@invariant(
+    "graph-delta-merge-rebuild",
+    layer="graph/stream",
+    falsifies="append_delta's O(E_old + E_new) CSR merge being "
+    "bit-identical to a stable full rebuild",
+)
+def _check_delta_merge() -> List[str]:
+    problems: List[str] = []
+    for seed in (0, 3, 7):
+        rng = np.random.default_rng(seed)
+        graph = random_hetero_graph(rng, num_txns=6)
+        graph.csr()  # warm, so append_delta takes the merge path
+        for _ in range(3):
+            graph.append_delta(**random_delta(rng, graph, num_new_txns=2))
+        merged = graph.csr()
+        rebuilt = HeteroGraph(
+            node_type=graph.node_type.copy(),
+            edge_src=graph.edge_src.copy(),
+            edge_dst=graph.edge_dst.copy(),
+            edge_type=graph.edge_type.copy(),
+            txn_features=graph.txn_features.copy(),
+            labels=graph.labels.copy(),
+        ).csr()
+        for name, left, right in zip(("indptr", "src", "eid"), merged, rebuilt):
+            if not np.array_equal(left, right):
+                problems.append(f"seed {seed}: merged {name} != rebuilt {name}")
+    return problems
+
+
+@invariant(
+    "cache-coherence",
+    layer="graph",
+    falsifies="a cached subgraph differing from a fresh sample at the "
+    "same graph version, or a stale version being served after mutation",
+)
+def _check_cache_coherence() -> List[str]:
+    from ..graph.cache import SubgraphCache
+    from ..graph.sampling import HGSampler, SageSampler
+
+    problems: List[str] = []
+    rng = np.random.default_rng(5)
+    graph = random_hetero_graph(rng, num_txns=8)
+    targets = [0, 3, 5]
+    for sampler in (SageSampler(hops=2, fanout=3, seed=4), HGSampler(depth=2, width=3, seed=4)):
+        cache = SubgraphCache(capacity=8)
+        first = cache.get_or_sample(graph, sampler, targets)
+        second = cache.get_or_sample(graph, sampler, targets)
+        if second is not first:
+            problems.append(f"{sampler.cache_key()}: repeat lookup was not a hit")
+        diff = subgraph_equal(first, sampler.sample(graph, targets))
+        if diff is not None:
+            problems.append(f"{sampler.cache_key()}: cached != fresh sample ({diff})")
+        before_version = graph.version
+        graph.append_delta(**random_delta(rng, graph, num_new_txns=2))
+        after = cache.get_or_sample(graph, sampler, targets)
+        if graph.version == before_version:
+            problems.append("append_delta failed to bump the version")
+        diff = subgraph_equal(after, sampler.sample(graph, targets))
+        if diff is not None:
+            problems.append(
+                f"{sampler.cache_key()}: post-mutation lookup served stale data ({diff})"
+            )
+        snapshot = cache.stats()
+        if snapshot["hits"] + snapshot["misses"] != snapshot["lookups"]:
+            problems.append("cache counters do not sum to lookups")
+    return problems
+
+
+@invariant(
+    "wal-manifest-agreement",
+    layer="stream",
+    falsifies="sealed segment CRCs/sizes/record counts and contiguous "
+    "sequence ranges agreeing with MANIFEST.json, including a segment "
+    "filled exactly to the rotation boundary",
+)
+def _check_wal_manifest() -> List[str]:
+    from ..data.events import encode_event
+    from ..stream.wal import _FRAME_HEADER, EventLog, replay_wal
+
+    problems: List[str] = []
+    rng = np.random.default_rng(11)
+    events = random_events(rng, 9, feature_dim=3)
+    frame_size = _FRAME_HEADER.size + len(encode_event(events[0]))
+    with tempfile.TemporaryDirectory() as directory:
+        # Rotation boundary exactly at 3 frames: appends land on the byte.
+        with EventLog(directory, segment_max_bytes=3 * frame_size) as log:
+            for event in events:
+                log.append(event)
+        problems += wal_violations(directory)
+        replayed = [event for _, event in replay_wal(directory)]
+        if len(replayed) != len(events):
+            problems.append(f"replay returned {len(replayed)} of {len(events)} events")
+        reopened = EventLog(directory, segment_max_bytes=3 * frame_size)
+        if reopened.recovered_tail is not None:
+            problems.append(
+                "clean boundary-filled WAL misclassified as torn: "
+                f"{reopened.recovered_tail.reason}"
+            )
+        if reopened.record_count != len(events):
+            problems.append(
+                f"reopen lost records: {reopened.record_count} != {len(events)}"
+            )
+        reopened.close()
+        # Self-test: flip a byte inside a sealed segment.
+        sealed = sorted(
+            name for name in os.listdir(directory) if name.endswith(".seg")
+        )[0]
+        path = os.path.join(directory, sealed)
+        with open(path, "r+b") as handle:
+            handle.seek(frame_size // 2)
+            original = handle.read(1)
+            handle.seek(frame_size // 2)
+            handle.write(bytes([original[0] ^ 0xFF]))
+        if not wal_violations(directory):
+            problems.append("self-test: wal_violations missed a sealed bit flip")
+    return problems
+
+
+@invariant(
+    "replicated-ledger-agreement",
+    layer="storage",
+    falsifies="owner replicas holding bytes whose CRC32 disagrees with "
+    "the put-time ledger",
+)
+def _check_replicated_ledger() -> List[str]:
+    from ..storage.kvstore import InMemoryKVStore
+    from ..storage.replicated import ReplicatedConfig, ReplicatedKVStore
+
+    problems: List[str] = []
+    replicas = [InMemoryKVStore() for _ in range(3)]
+    store = ReplicatedKVStore(
+        replicas, ReplicatedConfig(replication_factor=2), seed=0
+    )
+    rng = np.random.default_rng(13)
+    for index in range(16):
+        store.put(f"key-{index}", rng.bytes(8 + index))
+    problems += ledger_violations(store)
+    # Self-test: silently corrupt one owner's copy.
+    victim_key = "key-3"
+    owner = store.owners(victim_key)[0]
+    replicas[owner]._data[victim_key] = b"\x00" + replicas[owner]._data[victim_key][1:]
+    found = ledger_violations(store)
+    if not any(victim_key in problem for problem in found):
+        problems.append("self-test: ledger_violations missed a corrupted replica copy")
+    # anti_entropy must repair it back to ledger agreement.
+    store.anti_entropy()
+    problems += [f"post-repair: {p}" for p in ledger_violations(store)]
+    return problems
+
+
+@invariant(
+    "checkpoint-crc-roundtrip",
+    layer="reliability",
+    falsifies="CheckpointManager round-tripping bit-identical state and "
+    "refusing manifests whose CRC32/size no longer match the file",
+)
+def _check_checkpoint_roundtrip() -> List[str]:
+    from ..reliability.checkpoint import CheckpointError, CheckpointManager, TrainingState
+
+    problems: List[str] = []
+    rng = np.random.default_rng(17)
+    state = TrainingState(
+        epoch=3,
+        model_state={"w": rng.normal(size=(4, 3)), "b": rng.normal(size=3)},
+        optimizer_state={"step": 3},
+        rng_states={},
+        best_auc=0.75,
+    )
+    with tempfile.TemporaryDirectory() as directory:
+        manager = CheckpointManager(directory)
+        path = manager.save(state)
+        loaded = manager.load(path)
+        for name, value in state.model_state.items():
+            if not np.array_equal(loaded.model_state[name], value):
+                problems.append(f"model tensor {name!r} not bit-identical after load")
+        if loaded.epoch != state.epoch or loaded.best_auc != state.best_auc:
+            problems.append("scalar state lost in round-trip")
+        # Self-test: flip one byte mid-file; load must refuse.
+        with open(path, "r+b") as handle:
+            handle.seek(os.path.getsize(path) // 2)
+            byte = handle.read(1)
+            handle.seek(-1, os.SEEK_CUR)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        try:
+            manager.load(path)
+            problems.append("self-test: corrupted checkpoint loaded without error")
+        except CheckpointError:
+            pass
+    return problems
+
+
+@invariant(
+    "deadline-monotonicity",
+    layer="serving",
+    falsifies="Deadline.remaining decreasing exactly with the clock, "
+    "expiry latching, and check() raising iff the budget is spent",
+)
+def _check_deadline() -> List[str]:
+    from ..reliability.faults import ManualClock
+    from ..serving.deadline import Deadline, DeadlineExceeded
+
+    problems: List[str] = []
+    clock = ManualClock()
+    deadline = Deadline(1.0, clock=clock)
+    last_remaining = deadline.remaining()
+    for step in range(6):
+        clock.advance(0.25)
+        remaining = deadline.remaining()
+        if remaining > last_remaining:
+            problems.append(f"step {step}: remaining increased {last_remaining} -> {remaining}")
+        # The documented contract: remaining goes negative once blown.
+        expected = 1.0 - 0.25 * (step + 1)
+        if abs(remaining - expected) > 1e-12:
+            problems.append(f"step {step}: remaining {remaining} != {expected}")
+        should_expire = clock() >= 1.0
+        if deadline.expired() != should_expire:
+            problems.append(f"step {step}: expired() != clock-derived truth")
+        try:
+            deadline.check("audit")
+            raised = False
+        except DeadlineExceeded:
+            raised = True
+        if raised != should_expire:
+            problems.append(f"step {step}: check() raised={raised}, expired={should_expire}")
+        last_remaining = remaining
+    return problems
+
+
+@invariant(
+    "span-monotonicity",
+    layer="obs",
+    falsifies="span end >= start and child spans nesting inside their "
+    "parent's interval with correct parent linkage",
+)
+def _check_spans() -> List[str]:
+    from ..obs.trace import Tracer
+    from ..reliability.faults import ManualClock
+
+    problems: List[str] = []
+    clock = ManualClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("request") as outer:
+        clock.advance(0.1)
+        with tracer.span("sample"):
+            clock.advance(0.2)
+        with tracer.span("forward"):
+            clock.advance(0.3)
+        clock.advance(0.05)
+    spans = {span.name: span for span in tracer.spans()}
+    if set(spans) != {"request", "sample", "forward"}:
+        return [f"expected 3 finished spans, got {sorted(spans)}"]
+    for name, span in spans.items():
+        if span.end_s is None or span.end_s < span.start_s:
+            problems.append(f"{name}: end {span.end_s} precedes start {span.start_s}")
+    root = spans["request"]
+    for name in ("sample", "forward"):
+        child = spans[name]
+        if child.parent_id != root.span_id:
+            problems.append(f"{name}: parent_id does not point at the request span")
+        if child.start_s < root.start_s or child.end_s > root.end_s:
+            problems.append(f"{name}: interval escapes the parent span")
+    if outer.span_id != root.span_id:
+        problems.append("context-manager span is not the recorded root")
+    return problems
+
+
+@invariant(
+    "stats-accounting",
+    layer="serving",
+    falsifies="ServiceStats latency summaries reporting values that were "
+    "never observed, and cache counters failing to sum to lookups",
+)
+def _check_stats_accounting() -> List[str]:
+    from ..serving.stats import ServiceStats
+
+    problems: List[str] = []
+    stats = ServiceStats()
+    recorded = [0.01, 0.02, 0.03, 0.04, 0.4]
+    for latency in recorded:
+        stats.record_response("gnn", latency)
+    summary = stats.latency_summary()
+    for key, value in summary.items():
+        if not any(abs(value - sample) < 1e-12 for sample in recorded):
+            problems.append(f"{key}={value} is not an observed latency")
+    if summary["p50"] != 0.03:
+        problems.append(f"p50 of 5 samples should be the 3rd ({summary['p50']!r})")
+    return problems
+
+
+@invariant(
+    "percentile-selection",
+    layer="train/obs/storage",
+    falsifies="the three quantile call sites (latency_percentiles, "
+    "Histogram.percentile, hedge_threshold) disagreeing with nearest-rank "
+    "selection or each other, especially at n=1,2",
+)
+def _check_percentiles() -> List[str]:
+    from ..obs.registry import Histogram
+    from ..storage.replicated import ReplicaHealth, ReplicatedConfig
+    from ..train.metrics import latency_percentiles
+
+    problems: List[str] = []
+    cases = {
+        1: ([0.25], {"p50": 0.25, "p95": 0.25, "p99": 0.25}),
+        2: ([9.0, 1.0], {"p50": 1.0, "p95": 9.0, "p99": 9.0}),
+        4: ([0.04, 0.01, 0.03, 0.02], {"p50": 0.02, "p95": 0.04, "p99": 0.04}),
+    }
+    for count, (samples, expected) in cases.items():
+        summary = latency_percentiles(samples)
+        if summary != expected:
+            problems.append(f"n={count}: latency_percentiles {summary} != {expected}")
+        hist = Histogram("audit_hist", "audit", buckets=(1e9,))
+        for value in samples:
+            hist.observe(value)
+        for key, want in expected.items():
+            got = hist.percentile(float(key[1:]))
+            if got != want:
+                problems.append(f"n={count}: Histogram.{key} {got} != {want}")
+    health = ReplicaHealth(
+        0, lambda: 0.0, ReplicatedConfig(hedge_min_observations=4, hedge_quantile=0.5)
+    )
+    for value in (4.0, 1.0, 3.0, 2.0):
+        health.record_success(value)
+    threshold = health.hedge_threshold()
+    if threshold != 2.0:
+        problems.append(f"hedge_threshold p50 of 4 samples {threshold} != 2.0")
+    ordered = sorted(np.random.default_rng(19).uniform(size=100))
+    if latency_percentiles(ordered)["p99"] != ordered[98]:
+        problems.append("p99 of 100 samples is not the 99th order statistic")
+    return problems

@@ -11,6 +11,7 @@ Commands
 ``serve``         replay the deterministic chaos demo (``--demo``)
 ``healthcheck``   exercise a replicated feature tier and dump replica health
 ``bench-sampler`` time the vectorized sampler fast path vs the reference path
+``check``         run invariant audits + the differential fuzzer (CI gate)
 
 Datasets are fully regenerable from (name, seed, scale), so commands
 take those instead of data files; model weights persist as ``.npz``.
@@ -376,6 +377,51 @@ def _parser() -> argparse.ArgumentParser:
         metavar="X",
         help="exit 1 unless vectorized/reference >= X at the largest batch "
         "size (and the paths sample identical subgraphs)",
+    )
+
+    check = commands.add_parser(
+        "check",
+        help="run the correctness harness: invariant audits + differential fuzzing",
+    )
+    check.add_argument(
+        "--fuzz",
+        type=int,
+        default=0,
+        metavar="N",
+        help="differential fuzz trials after the audits (0 = audits only)",
+    )
+    check.add_argument("--seed", type=int, default=0, help="base fuzz seed")
+    check.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict fuzzing to the named scenario(s) (repeatable)",
+    )
+    check.add_argument(
+        "--skip-audit",
+        action="store_true",
+        help="skip the invariant audits (fuzz only)",
+    )
+    check.add_argument(
+        "--case",
+        default=None,
+        metavar="SCENARIO",
+        help="replay one fuzz case: --case NAME --seed S --size K",
+    )
+    check.add_argument(
+        "--size", type=int, default=3, help="case size for --case replay"
+    )
+    check.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="collect every fuzz divergence instead of stopping at the first",
+    )
+    check.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_checks",
+        help="list registered invariant checkers and fuzz scenarios, then exit",
     )
 
     return parser
@@ -1046,6 +1092,68 @@ def _cmd_bench_sampler(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from .check import REGISTRY, SCENARIOS, run_audits, run_case, run_fuzz
+
+    if args.list_checks:
+        print("invariant checkers:")
+        for check in REGISTRY.values():
+            print(f"  {check.name:28s} [{check.layer}] falsifies: {check.falsifies}")
+        print("fuzz scenarios:")
+        for name in SCENARIOS:
+            print(f"  {name}")
+        return 0
+
+    if args.case is not None:
+        detail = run_case(args.case, args.seed, args.size)
+        if detail is None:
+            print(f"OK    {args.case} seed={args.seed} size={args.size}")
+            return 0
+        print(f"FAIL  {args.case} seed={args.seed} size={args.size}: {detail}")
+        return 1
+
+    failed = False
+    if not args.skip_audit:
+        results = run_audits()
+        width = max(len(result.name) for result in results)
+        for result in results:
+            status = "PASS" if result.passed else "FAIL"
+            print(f"{status}  {result.name:{width}s}  [{result.layer}]")
+            for violation in result.violations:
+                print(f"        {violation}")
+        bad = sum(1 for result in results if not result.passed)
+        failed = failed or bad > 0
+        print(f"audits: {len(results) - bad}/{len(results)} passed")
+
+    if args.fuzz > 0:
+        report = run_fuzz(
+            args.fuzz,
+            seed=args.seed,
+            names=args.scenario,
+            stop_on_first=not args.keep_going,
+            progress=lambda line: print(f"fuzz: {line}"),
+        )
+        spread = ", ".join(
+            f"{name}={count}" for name, count in report.per_scenario.items()
+        )
+        print(f"fuzz: {report.trials} trials ({spread})")
+        for failure in report.failures:
+            print(
+                f"FAIL  {failure.scenario} seed={failure.seed} size={failure.size}: "
+                f"{failure.detail}"
+            )
+            print(
+                f"      shrunk to seed={failure.shrunk_seed} size={failure.shrunk_size} "
+                f"in {failure.shrink_steps} attempts: {failure.shrunk_detail}"
+            )
+            print(f"      repro: {failure.repro_command()}")
+        failed = failed or not report.ok
+        if report.ok:
+            print("fuzz: no divergence")
+
+    return 1 if failed else 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "train": _cmd_train,
@@ -1057,6 +1165,7 @@ _COMMANDS = {
     "healthcheck": _cmd_healthcheck,
     "stream": _cmd_stream,
     "bench-sampler": _cmd_bench_sampler,
+    "check": _cmd_check,
 }
 
 

@@ -58,7 +58,12 @@ class SubgraphCache:
         self.misses = 0
         self.evictions = 0
         self._entries: "OrderedDict[Tuple, SampledSubgraph]" = OrderedDict()
-        self._lock = threading.Lock()
+        # RLock, not Lock: weakref finalizers (_forget_graph) run at
+        # arbitrary allocation points, including inside our own locked
+        # regions (dict resize during insert can trigger the GC that
+        # collects a dead graph). A non-reentrant lock would self-
+        # deadlock on that re-entry.
+        self._lock = threading.RLock()
         self._graph_finalizers: dict = {}
         self._hits_metric = None
         self._misses_metric = None
@@ -88,6 +93,24 @@ class SubgraphCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def stats(self) -> dict:
+        """Atomic snapshot of the counters plus derived ``lookups``.
+
+        Taken under the lock so the accounting identity
+        ``hits + misses == lookups`` holds exactly even while worker
+        threads are mid-churn; reading the attributes one by one can
+        observe a torn pair (hit counted, lookup total not yet
+        implied).
+        """
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "lookups": self.hits + self.misses,
+                "entries": len(self._entries),
+            }
 
     # ------------------------------------------------------------------
     # Core API

@@ -131,6 +131,53 @@ class SampledSubgraph:
         return len(self.target_local)
 
 
+def stack_subgraphs(parts: Sequence[SampledSubgraph]) -> SampledSubgraph:
+    """Disjoint (block-diagonal) union of sampled subgraphs.
+
+    Node ids of each part are shifted past the previous parts' ranges,
+    so the combined graph has no edges between components: a forward
+    pass over it computes, per target, exactly what a forward over that
+    target's own subgraph would. That is what lets micro-batched
+    serving keep ONE model forward per rung while staying
+    score-identical to sequential scoring — coalescing requests into a
+    single *shared* sample would instead leak each request's sampled
+    neighbourhood into the others' attention normalisation (the
+    induced union carries cross-target edges), making a transaction's
+    score depend on which requests happened to ride its batch.
+
+    ``original_ids`` may repeat across components (two targets sampling
+    the same hub); that is fine — components are disjoint, and feature
+    hydration simply writes the same row into each copy.
+    """
+    if not parts:
+        raise ValueError("need at least one subgraph to stack")
+    if len(parts) == 1:
+        return parts[0]
+    sizes = [part.graph.num_nodes for part in parts]
+    offsets = np.concatenate([[0], np.cumsum(sizes[:-1])]).astype(np.int64)
+    graph = HeteroGraph(
+        node_type=np.concatenate([part.graph.node_type for part in parts]),
+        edge_src=np.concatenate(
+            [part.graph.edge_src + off for part, off in zip(parts, offsets)]
+        ),
+        edge_dst=np.concatenate(
+            [part.graph.edge_dst + off for part, off in zip(parts, offsets)]
+        ),
+        edge_type=np.concatenate([part.graph.edge_type for part in parts]),
+        txn_features=np.concatenate(
+            [part.graph.txn_features for part in parts], axis=0
+        ),
+        labels=np.concatenate([part.graph.labels for part in parts]),
+    )
+    return SampledSubgraph(
+        graph=graph,
+        target_local=np.concatenate(
+            [part.target_local + off for part, off in zip(parts, offsets)]
+        ),
+        original_ids=np.concatenate([part.original_ids for part in parts]),
+    )
+
+
 class _SamplerMetrics:
     """Opt-in hop counters + latency histograms shared by both samplers.
 

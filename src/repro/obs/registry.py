@@ -29,6 +29,8 @@ import re
 import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..util import nearest_rank_index
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -332,9 +334,10 @@ class Histogram(_Metric):
             sample = sorted(state.reservoir.values()) if state else []
         if not sample:
             return float("nan")
-        # Nearest-rank on the retained sample.
-        rank = max(0, min(len(sample) - 1, int(round(q / 100.0 * (len(sample) - 1)))))
-        return sample[rank]
+        # Nearest-rank on the retained sample — the same selection rule
+        # as repro.train.metrics.latency_percentiles, so a p99 from the
+        # registry and one from the benchmark tables agree.
+        return sample[nearest_rank_index(q, len(sample))]
 
     def render(self) -> str:
         lines = self._header()

@@ -36,6 +36,7 @@ import numpy as np
 
 from ..graph.cache import SubgraphCache
 from ..graph.hetero import HeteroGraph
+from ..graph.sampling import stack_subgraphs
 from ..util import batched
 from ..obs.registry import MetricsRegistry
 from ..obs.trace import NULL_TRACER, Tracer
@@ -366,10 +367,11 @@ class ScoringService:
         shed alone is shed here too, with the identical verdict. The
         admitted remainder is coalesced into micro-batches of
         ``config.batch_size`` (``None`` = all at once), each executing
-        ONE sampler call over the union of targets, ONE batched KV
-        feature fetch, and one ``no_grad`` forward per degradation rung
-        actually used — not one per request. Responses come back in
-        request order.
+        one cache-keyed singleton sample per target stacked into ONE
+        disjoint forward graph, ONE batched KV feature fetch, and one
+        ``no_grad`` forward per degradation rung actually used — not
+        one per request. Scores are identical to sequential scoring
+        (within float noise); responses come back in request order.
         """
         coerced = [self._coerce(request) for request in requests]
         responses: List[Optional[ScoreResponse]] = [None] * len(coerced)
@@ -508,8 +510,10 @@ class ScoringService:
     def _score_admitted_batch(self, requests: Sequence[ScoreRequest]) -> List[ScoreResponse]:
         """Score already-admitted requests as ONE coalesced unit.
 
-        One sampler call over the union of targets, one batched KV
-        fetch, one forward per degradation rung used. Per-request
+        One cache-keyed singleton sample per target (stacked into a
+        single disjoint forward graph, so verdicts match sequential
+        scoring), one batched KV fetch, one forward per degradation
+        rung used. Per-request
         deadline semantics ride on :class:`_DeadlineGroup`; breaker and
         KV failures demote every member still on the GNN rung, exactly
         as they would have demoted each request scored alone.
@@ -588,26 +592,54 @@ class ScoringService:
             for member, prob in zip(live, probs):
                 member.score, member.rung = float(prob), RUNG_GNN
             return
-        cohort = group.live  # aligned 1:1 with the sampler's targets
-        targets = [member.request.node for member in cohort]
-        with self.tracer.span("sample", targets=len(targets)) as sample_span:
-            sampled = self._sample(sampler, targets, group)
-            sample_span.set("sampled_nodes", int(len(sampled.original_ids)))
+        cohort = group.live
+        parts: List = []
+        sampled_members: List[_BatchMember] = []
+        with self.tracer.span("sample", targets=len(cohort)) as sample_span:
+            # One singleton sample per member, stacked block-diagonally
+            # below. Sampling the *union* of targets instead would leak
+            # each request's neighbourhood into the others' attention
+            # normalisation (the induced subgraph carries cross-target
+            # edges, and shared nodes reached at different hop depths
+            # draw differently), making a score depend on batch
+            # composition — repro.check's single-vs-batched scenario
+            # falsifies exactly that. Singleton samples are also what
+            # warm_cache() pre-loads, so cache hits survive any batch
+            # composition.
+            for member in cohort:
+                if not member.live:
+                    continue  # demoted while an earlier member sampled
+                parts.append(self._sample(sampler, [member.request.node], group))
+                sampled_members.append(member)
+            sample_span.set(
+                "sampled_nodes", int(sum(len(p.original_ids) for p in parts))
+            )
+        survivors = [
+            (member, part)
+            for member, part in zip(sampled_members, parts)
+            if member.live
+        ]
+        if not survivors:
+            return
+        sampled = stack_subgraphs([part for _, part in survivors])
         forward_graph = sampled.graph
         if self.feature_store is not None:
-            with self.tracer.span("feature_fetch", rows=int(len(sampled.original_ids))):
-                rows = self._fetch_features(sampled.original_ids, group)
-            # Hydrate onto an O(1) clone: the sampled subgraph may live
+            # Components may repeat an original id (two targets sampling
+            # the same hub): fetch each row once, scatter to every copy.
+            unique_ids, inverse = np.unique(sampled.original_ids, return_inverse=True)
+            with self.tracer.span("feature_fetch", rows=int(len(unique_ids))):
+                rows = self._fetch_features(unique_ids, group)[inverse]
+            # Hydrate onto an O(1) clone: the sampled subgraphs may live
             # in the SubgraphCache and must never carry another
             # request's feature rows.
             forward_graph = sampled.graph.with_features(
                 rows.astype(sampled.graph.txn_features.dtype, copy=False)
             )
         group.check("model forward")
-        live = [member for member in cohort if member.live]
+        live = [member for member, _ in survivors if member.live]
         locals_ = [
             int(local)
-            for member, local in zip(cohort, sampled.target_local)
+            for (member, _), local in zip(survivors, sampled.target_local)
             if member.live
         ]
         if not live:

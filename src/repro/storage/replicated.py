@@ -68,6 +68,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 from ..obs.registry import MetricsRegistry, Reservoir
+from ..util import nearest_rank_index
 from .kvstore import CorruptStoreError, KVStore
 
 HEALTHY = "healthy"
@@ -274,8 +275,9 @@ class ReplicaHealth:
         if len(values) < self.config.hedge_min_observations:
             return None
         ordered = sorted(values)
-        # Nearest-rank quantile (matches obs.registry.Histogram.percentile).
-        rank = max(0, min(len(ordered) - 1, int(self.config.hedge_quantile * len(ordered))))
+        # Nearest-rank quantile (same selection rule as
+        # obs.registry.Histogram.percentile and latency_percentiles).
+        rank = nearest_rank_index(self.config.hedge_quantile * 100.0, len(ordered))
         return float(ordered[rank])
 
 

@@ -92,6 +92,11 @@ def _scan_frames(blob: bytes) -> Tuple[List[bytes], int, Optional[str]]:
         if total - offset < _FRAME_HEADER.size:
             return payloads, offset, "truncated frame header"
         length, crc = _FRAME_HEADER.unpack_from(blob, offset)
+        if length == 0:
+            # No codec emits an empty payload, but crc32(b"") == 0, so a
+            # zero-filled tail (preallocated blocks after a crash) would
+            # otherwise parse as an endless run of "valid" empty frames.
+            return payloads, offset, "zero-length frame"
         if length > _MAX_RECORD_BYTES:
             return payloads, offset, f"implausible record length {length}"
         body_start = offset + _FRAME_HEADER.size
@@ -131,6 +136,13 @@ class EventLog:
         os.makedirs(directory, exist_ok=True)
         self._sealed = self._read_manifest()["segments"]
         self._recover()
+        # A crash between the append that filled the segment to the
+        # rotation boundary and the rotate() it triggers leaves a full
+        # unsealed segment behind. Seal it now so the manifest agrees
+        # with what a healthy run would have produced and the next
+        # append never grows a segment past the boundary.
+        if self._active_records and self._active_size >= self.segment_max_bytes:
+            self.rotate()
 
     # -- manifest -------------------------------------------------------
     @property

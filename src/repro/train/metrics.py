@@ -16,6 +16,8 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..util import nearest_rank_index
+
 
 def _validate(labels: np.ndarray, scores: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     labels = np.asarray(labels, dtype=np.int64)
@@ -26,6 +28,9 @@ def _validate(labels: np.ndarray, scores: np.ndarray) -> Tuple[np.ndarray, np.nd
         raise ValueError("empty inputs")
     if not np.all((labels == 0) | (labels == 1)):
         raise ValueError("labels must be binary 0/1")
+    if np.isnan(scores).any():
+        # NaN breaks the sort-based threshold sweep silently; fail loudly.
+        raise ValueError("scores must not contain NaN")
     return labels, scores
 
 
@@ -85,13 +90,21 @@ def latency_percentiles(
     timing (tail latency, not just the mean, is what an online scorer
     is judged on). Empty input yields NaNs rather than raising so a
     zero-traffic window still reports.
+
+    Selection is nearest-rank (see :func:`repro.util.nearest_rank_index`),
+    not linear interpolation: every reported value is a sample that was
+    actually observed, and at tiny counts (n=1, 2) p50/p95/p99 stay
+    honest instead of inventing midpoints.
     """
     keys = [f"p{percentile:g}" for percentile in percentiles]
     samples = np.asarray(list(samples), dtype=np.float64)
     if samples.size == 0:
         return {key: float("nan") for key in keys}
-    values = np.percentile(samples, list(percentiles))
-    return {key: float(value) for key, value in zip(keys, values)}
+    ordered = np.sort(samples)
+    return {
+        key: float(ordered[nearest_rank_index(percentile, ordered.size)])
+        for key, percentile in zip(keys, percentiles)
+    }
 
 
 def partial_roc_auc(labels: Sequence[int], scores: Sequence[float], max_fpr: float = 0.1) -> float:

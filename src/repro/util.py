@@ -4,16 +4,39 @@ Lives at the package root (below ``graph``, ``train`` and ``serving``)
 so every layer can import it without cycles. :func:`batched` is the one
 index-slicing helper the whole stack shares — the training epoch loops,
 the KV feature-fetch chunking, and the serving micro-batch coalescer
-all cut sequences the same way.
+all cut sequences the same way. :func:`nearest_rank_index` is the one
+percentile-selection rule: every quantile the stack reports
+(``latency_percentiles``, ``Histogram.percentile``, the hedged-read
+thresholds) selects the same sorted index, so a p99 from the benchmark
+tables, the Prometheus exposition, and the replica router all mean the
+same observed sample.
 """
 
 from __future__ import annotations
 
+import math
 from typing import List, Sequence, TypeVar
 
 T = TypeVar("T", bound=Sequence)
 
-__all__ = ["batched"]
+__all__ = ["batched", "nearest_rank_index"]
+
+
+def nearest_rank_index(percentile: float, count: int) -> int:
+    """Sorted-array index of the nearest-rank percentile for ``count`` samples.
+
+    Nearest-rank definition: the smallest sample such that at least
+    ``percentile`` percent of the data is <= it, i.e. index
+    ``ceil(p/100 * n) - 1`` clamped to ``[0, n - 1]``. Unlike linear
+    interpolation this always lands on an *observed* sample — a p99
+    latency that nobody ever experienced is not a latency.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if not 0.0 <= percentile <= 100.0:
+        raise ValueError("percentile must be within [0, 100]")
+    rank = math.ceil(percentile / 100.0 * count) - 1
+    return max(0, min(count - 1, rank))
 
 
 def batched(items: T, batch_size: int) -> List[T]:

@@ -201,10 +201,14 @@ class TestLatencyPercentiles:
     def test_default_keys_and_ordering(self):
         from repro.train.metrics import latency_percentiles
 
-        summary = latency_percentiles(np.linspace(0.001, 0.1, 200))
+        samples = np.linspace(0.001, 0.1, 200)
+        summary = latency_percentiles(samples)
         assert set(summary) == {"p50", "p95", "p99"}
         assert summary["p50"] <= summary["p95"] <= summary["p99"]
-        assert summary["p50"] == pytest.approx(np.percentile(np.linspace(0.001, 0.1, 200), 50))
+        # Nearest-rank: every reported value is an observed sample.
+        assert summary["p50"] == pytest.approx(samples[99])
+        assert summary["p95"] == pytest.approx(samples[189])
+        assert summary["p99"] == pytest.approx(samples[197])
 
     def test_custom_percentiles(self):
         from repro.train.metrics import latency_percentiles
@@ -224,3 +228,65 @@ class TestLatencyPercentiles:
 
         summary = latency_percentiles([0.25])
         assert all(v == pytest.approx(0.25) for v in summary.values())
+
+    def test_two_samples_exact_nearest_rank(self):
+        # n=2: p50 must be the LOWER sample (ceil(0.5*2)-1 = index 0),
+        # p95/p99 the upper. Linear interpolation would invent 5.0
+        # (never observed) for p50 — the off-by-one this audit fixed.
+        from repro.train.metrics import latency_percentiles
+
+        summary = latency_percentiles([9.0, 1.0])
+        assert summary == {"p50": 1.0, "p95": 9.0, "p99": 9.0}
+
+    def test_four_samples_exact_nearest_rank(self):
+        from repro.train.metrics import latency_percentiles
+
+        summary = latency_percentiles([0.04, 0.01, 0.03, 0.02])
+        assert summary == {"p50": 0.02, "p95": 0.04, "p99": 0.04}
+
+    def test_values_are_always_observed_samples(self):
+        from repro.train.metrics import latency_percentiles
+
+        rng = np.random.default_rng(3)
+        for n in (1, 2, 3, 5, 17, 100):
+            samples = list(rng.uniform(size=n))
+            for value in latency_percentiles(samples).values():
+                assert value in samples
+
+    def test_shared_selection_rule_across_layers(self):
+        # One definition of "p-th percentile" across the whole stack.
+        from repro.obs.registry import Histogram
+        from repro.train.metrics import latency_percentiles
+        from repro.util import nearest_rank_index
+
+        rng = np.random.default_rng(4)
+        samples = list(rng.uniform(size=11))
+        hist = Histogram("shared_rule_test", "x", buckets=(1e9,))
+        for value in samples:
+            hist.observe(value)
+        summary = latency_percentiles(samples)
+        ordered = sorted(samples)
+        for q in (50.0, 95.0, 99.0):
+            expected = ordered[nearest_rank_index(q, len(samples))]
+            assert summary[f"p{q:g}"] == expected
+            assert hist.percentile(q) == expected
+
+
+class TestNearestRankIndex:
+    def test_definition(self):
+        import math
+
+        from repro.util import nearest_rank_index
+
+        for n in range(1, 30):
+            for q in (0.0, 1.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0):
+                expected = min(n - 1, max(0, math.ceil(q / 100.0 * n) - 1))
+                assert nearest_rank_index(q, n) == expected
+
+    def test_rejects_bad_input(self):
+        from repro.util import nearest_rank_index
+
+        with pytest.raises(ValueError):
+            nearest_rank_index(50.0, 0)
+        with pytest.raises(ValueError):
+            nearest_rank_index(101.0, 5)

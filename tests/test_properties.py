@@ -1,6 +1,7 @@
 """Property-based tests (hypothesis) on core invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
@@ -102,6 +103,31 @@ class TestMetricProperties:
         a = roc_auc(labels, scores)
         b = roc_auc(labels, scores * 7 + 3)
         np.testing.assert_allclose(a, b, atol=1e-9)
+
+    @given(labels_scores)
+    @settings(max_examples=100, deadline=None)
+    def test_auc_matches_brute_force_pairwise_under_ties(self, data):
+        # The sorted-rank implementation must agree with the textbook
+        # definition — P(score_pos > score_neg) + 0.5 P(tie) — even when
+        # quantisation creates long runs of tied scores.
+        labels, scores = data
+        if labels.min() == labels.max():
+            return
+        scores = np.round(scores, 1)  # force heavy ties
+        pos = scores[labels == 1]
+        neg = scores[labels == 0]
+        wins = (pos[:, None] > neg[None, :]).sum()
+        ties = (pos[:, None] == neg[None, :]).sum()
+        brute = (wins + 0.5 * ties) / (len(pos) * len(neg))
+        np.testing.assert_allclose(roc_auc(labels, scores), brute, atol=1e-12)
+
+    def test_auc_rejects_nan_scores(self):
+        # NaN sorts unpredictably and would silently corrupt the ranking;
+        # the metric must refuse it outright.
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.1, np.nan, 0.3, 0.9])
+        with pytest.raises(ValueError):
+            roc_auc(labels, scores)
 
     @given(labels_scores)
     @settings(max_examples=50, deadline=None)

@@ -192,7 +192,8 @@ class TestServiceStats:
         for latency in [0.01, 0.02, 0.03, 0.04]:
             stats.record_response(RUNG_GNN, latency)
         summary = stats.latency_summary()
-        assert summary["p50"] == pytest.approx(0.025)
+        # Nearest-rank: p50 of 4 samples is the 2nd, an observed value.
+        assert summary["p50"] == pytest.approx(0.02)
         assert "p95=" in stats.describe()
 
     def test_auc_is_nan_not_error_on_single_class(self):

@@ -230,6 +230,70 @@ class TestEventLog:
         assert len(replayed) == 6
         assert encode_event(replayed[-1][1]) == encode_event(events[5])
 
+    def test_zero_filled_tail_is_torn_not_phantom_records(self, tmp_path):
+        # Regression (repro check --case wal-crash-replay --seed 0 --size 1):
+        # a power loss can leave a zero-filled tail after a metadata-only
+        # flush. crc32(b"") == 0 validates an all-zero header, so these
+        # bytes used to replay as phantom zero-length records.
+        events = _events(6)
+        with EventLog(str(tmp_path), fsync=False) as log:
+            log.append_many(events)
+            name = log.segments()[-1]["file"]
+        path = os.path.join(str(tmp_path), name)
+        with open(path, "ab") as handle:
+            handle.write(b"\x00" * 64)
+        with pytest.raises(TornTailError) as excinfo:
+            list(replay_wal(str(tmp_path)))
+        assert excinfo.value.tail.valid_records == 6
+        assert excinfo.value.tail.reason == "zero-length frame"
+        # Reopen truncates the zero tail and appends resume cleanly.
+        log = EventLog(str(tmp_path), fsync=False)
+        assert log.record_count == 6
+        log.append(_events(7)[6])
+        log.close()
+        assert len(list(replay_wal(str(tmp_path)))) == 7
+
+    def test_append_on_exact_rotation_boundary(self, tmp_path):
+        # A segment limit that is an exact multiple of the frame size
+        # makes every rotation fire on a boundary-landing append.
+        events = _events(4)
+        boundary = sum(len(encode_event(e)) + 8 for e in events[:2])
+        log = EventLog(str(tmp_path), segment_max_bytes=boundary, fsync=False)
+        log.append_many(events)
+        log.close()
+        assert log.segment_count() >= 2
+        sealed = json.loads((tmp_path / "MANIFEST.json").read_text())["segments"]
+        assert sealed[0]["size"] == boundary  # filled to the byte, no overhang
+        replayed = list(replay_wal(str(tmp_path)))
+        assert len(replayed) == 4
+        reopened = EventLog(str(tmp_path), segment_max_bytes=boundary, fsync=False)
+        assert reopened.recovered_tail is None
+        assert reopened.record_count == 4
+        reopened.close()
+
+    def test_reopen_seals_crash_recovered_full_segment(self, tmp_path):
+        # Crash window: the append that filled the segment to exactly
+        # segment_max_bytes completed, but the rotate() it triggers did
+        # not. Reopen must treat the full segment as sealed — not torn —
+        # and the next append must start a fresh segment.
+        events = _events(2)
+        import struct
+
+        payload = encode_event(events[0])
+        frame = struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
+        (tmp_path / "wal-000000.seg").write_bytes(frame)  # full, unsealed
+        log = EventLog(str(tmp_path), segment_max_bytes=len(frame), fsync=False)
+        assert log.recovered_tail is None
+        assert log.record_count == 1
+        manifest = json.loads((tmp_path / "MANIFEST.json").read_text())
+        assert [e["records"] for e in manifest["segments"]] == [1]
+        assert manifest["segments"][0]["size"] == len(frame)
+        log.append(events[1])
+        log.close()
+        replayed = list(replay_wal(str(tmp_path)))
+        assert [seq for seq, _ in replayed] == [0, 1]
+        assert encode_event(replayed[0][1]) == encode_event(events[0])
+
     def test_corrupt_record_checksum_is_detected(self, tmp_path):
         events = _events(6)
         with EventLog(str(tmp_path), fsync=False) as log:
